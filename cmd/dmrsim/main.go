@@ -1,0 +1,103 @@
+// Command dmrsim runs a single workload through the DMR framework and
+// reports the paper's measures, optionally with evolution charts.
+//
+// Usage:
+//
+//	dmrsim [-jobs N] [-nodes N] [-realistic] [-fixed] [-async] [-moldable]
+//	       [-period s] [-seed N] [-trace] [-events]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 50, "number of jobs")
+	nodes := flag.Int("nodes", 0, "cluster nodes (default: 20 preliminary, 65 realistic)")
+	realistic := flag.Bool("realistic", false, "CG/Jacobi/N-body mix instead of FS")
+	fixed := flag.Bool("fixed", false, "run the workload rigid (no malleability)")
+	async := flag.Bool("async", false, "asynchronous reconfiguration scheduling")
+	moldable := flag.Bool("moldable", false, "moldable submissions (paper §X extension)")
+	period := flag.Float64("period", -1, "checking-inhibitor period in seconds (-1: Table I defaults)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	trace := flag.Bool("trace", false, "print evolution charts")
+	events := flag.Bool("events", false, "print the controller event log")
+	watch := flag.Float64("watch", 0, "print squeue-style status every N virtual seconds")
+	acct := flag.Bool("acct", false, "print the accounting records as CSV")
+	flag.Parse()
+
+	var params workload.Params
+	cfg := core.DefaultConfig()
+	if *realistic {
+		params = workload.Realistic(*jobs, *seed)
+	} else {
+		params = workload.Preliminary(*jobs, 1, *seed)
+		cfg.Nodes = 20
+	}
+	if *nodes > 0 {
+		cfg.Nodes = *nodes
+	}
+	cfg.Async = *async
+	cfg.MoldableSubmissions = *moldable
+	if *period >= 0 {
+		cfg.SchedPeriod = sim.Seconds(*period)
+	}
+
+	specs := workload.Generate(params)
+	specs = workload.SetFlexible(specs, !*fixed)
+	sys := core.NewSystem(cfg)
+	sys.SubmitAll(specs)
+	if *watch > 0 {
+		period := sim.Seconds(*watch)
+		var tick func()
+		tick = func() {
+			fmt.Printf("--- t=%.0fs ---\n%s", sys.Cluster.K.Now().Seconds(), sys.Ctl.FormatQueue())
+			fmt.Print(sys.Ctl.FormatNodes())
+			if sys.Ctl.CompletedJobs() < len(specs) {
+				sys.Cluster.K.After(period, tick)
+			}
+		}
+		sys.Cluster.K.After(period, tick)
+	}
+	res := sys.Run()
+
+	mode := "flexible"
+	if *fixed {
+		mode = "fixed"
+	}
+	fmt.Printf("workload: %d jobs (%s), %d nodes, seed %d\n", res.Jobs, mode, sys.Ctl.TotalNodes(), *seed)
+	fmt.Printf("  makespan:             %10.0f s\n", res.Makespan.Seconds())
+	fmt.Printf("  avg waiting time:     %10.0f s\n", res.AvgWait.Seconds())
+	fmt.Printf("  avg execution time:   %10.0f s\n", res.AvgExec.Seconds())
+	fmt.Printf("  avg completion time:  %10.0f s\n", res.AvgCompletion.Seconds())
+	fmt.Printf("  resource utilization: %10.2f %%\n", res.UtilRate)
+	fmt.Printf("  reconfigurations:     %10d\n", res.Resizes)
+
+	if *trace {
+		fmt.Print(metrics.AsciiChart("allocated nodes", res.Trace,
+			func(s metrics.Sample) int { return s.Alloc }, sys.Ctl.TotalNodes(), 72, res.Makespan))
+		fmt.Print(metrics.AsciiChart("running jobs", res.Trace,
+			func(s metrics.Sample) int { return s.Running }, 20, 72, res.Makespan))
+		fmt.Print(metrics.AsciiChart("completed jobs", res.Trace,
+			func(s metrics.Sample) int { return s.Completed }, res.Jobs, 72, res.Makespan))
+	}
+	if *events {
+		for _, e := range sys.Ctl.Events {
+			fmt.Printf("%12.3f  %-7s job %-4d nodes=%-3d %s\n",
+				e.T.Seconds(), e.Kind, e.JobID, e.Nodes, e.Info)
+		}
+	}
+	if *acct {
+		if err := sys.Ctl.WriteAccountingCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dmrsim:", err)
+			os.Exit(1)
+		}
+	}
+}

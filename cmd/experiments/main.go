@@ -1,0 +1,209 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. By default it runs the full paper dimensions; -quick runs
+// scaled-down workloads for a fast smoke pass.
+//
+// Usage:
+//
+//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+var (
+	csvDir = flag.String("csv", "", "directory to write evolution traces as CSV (fig4/5/6/12)")
+	svgDir = flag.String("svg", "", "directory to write figures as SVG charts")
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	quick := flag.Bool("quick", false, "scaled-down workloads")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "workload seed")
+	flag.Parse()
+
+	prelimSizes := experiments.Fig3Sizes
+	realSizes := experiments.RealisticSizes
+	fig8Jobs, fig9Sizes := 100, experiments.Fig9Sizes
+	ablJobs := 50
+	if *quick {
+		prelimSizes = []int{10, 25, 50}
+		realSizes = []int{20, 50}
+		fig8Jobs, fig9Sizes = 30, []int{10, 25}
+		ablJobs = 20
+	}
+
+	run := func(name string, fn func()) {
+		if *exp == "all" || *exp == name {
+			fn()
+		}
+	}
+
+	run("fig1", func() {
+		fmt.Print(experiments.FormatFig1(experiments.Fig1(experiments.Fig1Targets)))
+		fmt.Println()
+	})
+	run("fig3", func() {
+		cs := experiments.Fig3(prelimSizes, *seed)
+		fmt.Print(experiments.FormatComparisons("Figure 3: fixed vs flexible (synchronous scheduling)", cs))
+		writeComparisonSVG("fig3", "Figure 3: fixed vs flexible workloads (sync)", cs, false)
+		fmt.Println()
+	})
+	run("fig4", func() { evolution("Figure 4 (10-job workload)", experiments.EvoFig4, *seed, "fig4") })
+	run("fig5", func() { evolution("Figure 5 (25-job workload)", experiments.EvoFig5, *seed, "fig5") })
+	run("fig6", func() { evolution("Figure 6 (async 10-job workload)", experiments.EvoFig6, *seed, "fig6") })
+	run("fig7", func() {
+		cs := experiments.Fig7(prelimSizes, *seed)
+		fmt.Print(experiments.FormatComparisons("Figure 7: fixed vs flexible (asynchronous scheduling)", cs))
+		writeComparisonSVG("fig7", "Figure 7: fixed vs flexible workloads (async)", cs, false)
+		fmt.Println()
+	})
+	run("fig8", func() {
+		fmt.Print(experiments.FormatFig8(experiments.Fig8(fig8Jobs, *seed)))
+		fmt.Println()
+	})
+	run("fig9", func() {
+		fmt.Print(experiments.FormatFig9(experiments.Fig9(fig9Sizes, experiments.Fig9Periods, *seed)))
+		fmt.Println()
+	})
+	if *exp == "all" || *exp == "fig10" || *exp == "fig11" || *exp == "table2" {
+		cs := experiments.Realistic(realSizes, *seed)
+		fmt.Print(experiments.FormatFig10(cs))
+		fmt.Println()
+		fmt.Print(experiments.FormatFig11(cs))
+		fmt.Println()
+		fmt.Print(experiments.FormatTable2(cs))
+		fmt.Println()
+		writeComparisonSVG("fig10", "Figure 10: workload execution times", cs, false)
+		writeComparisonSVG("fig11", "Figure 11: average job waiting time", cs, true)
+	}
+	run("fig12", func() { evolution("Figure 12 (50-job realistic workload)", experiments.EvoFig12, *seed, "fig12") })
+	run("ablations", func() {
+		fmt.Print(experiments.FormatAblation("Ablation: moldable submissions (paper §X future work)", experiments.Moldable(ablJobs, *seed)))
+		fmt.Println()
+		fmt.Print(experiments.FormatAblation("Ablation: resize factor", experiments.ResizeFactor(ablJobs, []int{2, 4}, *seed)))
+		fmt.Println()
+		fmt.Print(experiments.FormatAblation("Ablation: policy modes", experiments.PolicyModes(ablJobs, *seed)))
+		fmt.Println()
+	})
+
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+}
+
+// evolution prints an evolution comparison as ASCII charts (the paper's
+// allocation and throughput plots) and optionally dumps the raw series
+// as CSV for external plotting.
+func evolution(title string, kind experiments.EvolutionKind, seed int64, name string) {
+	fixed, flex := experiments.Evolution(kind, seed)
+	if *csvDir != "" {
+		writeTrace(filepath.Join(*csvDir, name+"_fixed.csv"), fixed)
+		writeTrace(filepath.Join(*csvDir, name+"_flexible.csv"), flex)
+	}
+	if *svgDir != "" {
+		end := fixed.Makespan
+		if flex.Makespan > end {
+			end = flex.Makespan
+		}
+		writeFile(filepath.Join(*svgDir, name+"_alloc.svg"), func(f *os.File) error {
+			return metrics.WriteEvolutionSVG(f, title+": allocated nodes", "nodes",
+				fixed.Trace.TotalNodes, end, []metrics.Series{
+					{Name: "fixed", Color: "#1f77b4", Trace: fixed.Trace, Value: func(s metrics.Sample) int { return s.Alloc }},
+					{Name: "flexible", Color: "#d62728", Trace: flex.Trace, Value: func(s metrics.Sample) int { return s.Alloc }},
+				})
+		})
+		writeFile(filepath.Join(*svgDir, name+"_completed.svg"), func(f *os.File) error {
+			return metrics.WriteEvolutionSVG(f, title+": completed jobs", "jobs",
+				fixed.Jobs, end, []metrics.Series{
+					{Name: "fixed", Color: "#1f77b4", Trace: fixed.Trace, Value: func(s metrics.Sample) int { return s.Completed }},
+					{Name: "flexible", Color: "#d62728", Trace: flex.Trace, Value: func(s metrics.Sample) int { return s.Completed }},
+				})
+		})
+	}
+	end := fixed.Makespan
+	if flex.Makespan > end {
+		end = flex.Makespan
+	}
+	fmt.Println(title)
+	total := fixed.Trace.TotalNodes
+	fmt.Print(metrics.AsciiChart("fixed: allocated nodes", fixed.Trace,
+		func(s metrics.Sample) int { return s.Alloc }, total, 72, end))
+	fmt.Print(metrics.AsciiChart("flexible: allocated nodes", flex.Trace,
+		func(s metrics.Sample) int { return s.Alloc }, total, 72, end))
+	jobs := fixed.Jobs
+	fmt.Print(metrics.AsciiChart("fixed: completed jobs", fixed.Trace,
+		func(s metrics.Sample) int { return s.Completed }, jobs, 72, end))
+	fmt.Print(metrics.AsciiChart("flexible: completed jobs", flex.Trace,
+		func(s metrics.Sample) int { return s.Completed }, jobs, 72, end))
+	fmt.Printf("fixed makespan %s | flexible makespan %s | gain %.2f%%\n\n",
+		fmtSecs(fixed.Makespan), fmtSecs(flex.Makespan),
+		metrics.GainPct(fixed.Makespan.Seconds(), flex.Makespan.Seconds()))
+}
+
+func fmtSecs(t sim.Time) string { return fmt.Sprintf("%.0f s", t.Seconds()) }
+
+// writeComparisonSVG renders a fixed-vs-flexible bar chart when -svg is
+// set. waits selects the waiting-time series instead of makespans.
+func writeComparisonSVG(name, title string, cs []experiments.Comparison, waits bool) {
+	if *svgDir == "" {
+		return
+	}
+	var groups []metrics.BarGroup
+	for _, c := range cs {
+		fix, flex := c.Fixed.Makespan.Seconds(), c.Flexible.Makespan.Seconds()
+		if waits {
+			fix, flex = c.Fixed.AvgWait.Seconds(), c.Flexible.AvgWait.Seconds()
+		}
+		groups = append(groups, metrics.BarGroup{
+			Label:  fmt.Sprintf("%d jobs", c.Jobs),
+			Values: []float64{fix, flex},
+		})
+	}
+	writeFile(filepath.Join(*svgDir, name+".svg"), func(f *os.File) error {
+		yLabel := "execution time (s)"
+		if waits {
+			yLabel = "avg waiting time (s)"
+		}
+		return metrics.WriteBarsSVG(f, title, yLabel,
+			[]string{"fixed", "flexible"}, []string{"#1f77b4", "#d62728"}, groups)
+	})
+}
+
+// writeFile creates path and runs fn on it.
+func writeFile(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// writeTrace dumps one run's evolution series to path.
+func writeTrace(path string, res *metrics.WorkloadResult) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := metrics.WriteTraceCSV(f, res.Trace); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d samples)\n", path, len(res.Trace.Samples))
+}

@@ -1,0 +1,61 @@
+// Command wlgen generates Feitelson-model workloads as JSON for
+// inspection or external tooling.
+//
+// Usage:
+//
+//	wlgen [-jobs N] [-realistic] [-flex ratio] [-seed N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+// jsonSpec is the serialized form of a workload spec.
+type jsonSpec struct {
+	Index    int     `json:"index"`
+	Class    string  `json:"class"`
+	Nodes    int     `json:"nodes"`
+	RuntimeS float64 `json:"runtime_s"`
+	ArrivalS float64 `json:"arrival_s"`
+	Flexible bool    `json:"flexible"`
+}
+
+func main() {
+	jobs := flag.Int("jobs", 50, "number of jobs")
+	realistic := flag.Bool("realistic", false, "CG/Jacobi/N-body mix instead of FS")
+	flexRatio := flag.Float64("flex", 1.0, "fraction of flexible jobs")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	var params workload.Params
+	if *realistic {
+		params = workload.Realistic(*jobs, *seed)
+		params.FlexRatio = *flexRatio
+	} else {
+		params = workload.Preliminary(*jobs, *flexRatio, *seed)
+	}
+	specs := workload.Generate(params)
+
+	out := make([]jsonSpec, len(specs))
+	for i, s := range specs {
+		out[i] = jsonSpec{
+			Index:    s.Index,
+			Class:    s.Class.String(),
+			Nodes:    s.Nodes,
+			RuntimeS: s.Runtime.Seconds(),
+			ArrivalS: s.Arrival.Seconds(),
+			Flexible: s.Flexible,
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a Go reproduction of "Efficient Scalable Computing
+// through Flexible Applications and Adaptive Workloads" (Iserte et al.,
+// ICPP 2017): a dynamic MPI-malleability framework in which the
+// programming-model runtime (internal/nanos) reconfigures the number of
+// ranks of running jobs in cooperation with the workload manager
+// (internal/slurm, policy in internal/slurm/selectdmr), over an
+// in-memory MPI substrate (internal/mpi) on a deterministic
+// discrete-event simulation kernel (internal/sim).
+//
+// The root package hosts the benchmark suite (bench_test.go): one
+// benchmark per table and figure of the paper's evaluation. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package repro

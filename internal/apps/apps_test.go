@@ -1,0 +1,480 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nanos"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+	"repro/internal/slurm/selectdmr"
+)
+
+func TestLinearModel(t *testing.T) {
+	m := Linear{Seq: 60 * sim.Second}
+	if m.StepTime(1) != 60*sim.Second || m.StepTime(4) != 15*sim.Second {
+		t.Fatalf("linear model wrong: %v %v", m.StepTime(1), m.StepTime(4))
+	}
+	if m.StepTime(0) != 60*sim.Second {
+		t.Fatal("p<1 must clamp")
+	}
+}
+
+func TestHighScalabilityShape(t *testing.T) {
+	m := HighScalability(350 * sim.Millisecond)
+	s8 := float64(m.StepTime(1)) / float64(m.StepTime(8))
+	s16 := float64(m.StepTime(1)) / float64(m.StepTime(16))
+	s32 := float64(m.StepTime(1)) / float64(m.StepTime(32))
+	if s8 < 5 || s8 > 7 {
+		t.Fatalf("S(8) = %.2f, want ~5.9", s8)
+	}
+	// §IX-A: past 8 processes the gain per doubling drops below 10%.
+	if g := s16/s8 - 1; g <= 0 || g >= 0.10 {
+		t.Fatalf("gain 8→16 = %.1f%%, want (0,10)%%", g*100)
+	}
+	if g := s32/s16 - 1; g <= 0 || g >= 0.10 {
+		t.Fatalf("gain 16→32 = %.1f%%, want (0,10)%%", g*100)
+	}
+}
+
+func TestConstantPerformanceShape(t *testing.T) {
+	m := ConstantPerformance(24 * sim.Second)
+	s16 := float64(m.StepTime(1)) / float64(m.StepTime(16))
+	if s16 <= 1 || s16 > 1.10 {
+		t.Fatalf("N-body S(16) = %.3f, want at most 10%% total gain", s16)
+	}
+}
+
+func TestCurveInterpolationMonotone(t *testing.T) {
+	m := HighScalability(sim.Second)
+	prev := m.StepTime(1)
+	for p := 2; p <= 32; p++ {
+		cur := m.StepTime(p)
+		if cur > prev {
+			t.Fatalf("step time increased from p=%d to p=%d", p-1, p)
+		}
+		prev = cur
+	}
+}
+
+func TestTableIConfigs(t *testing.T) {
+	cg := CGConfig()
+	if cg.Iterations != 10000 || cg.MinProcs != 2 || cg.MaxProcs != 32 || cg.Preferred != 8 || cg.SchedPeriod != 15*sim.Second {
+		t.Fatalf("CG config deviates from Table I: %+v", cg)
+	}
+	fs := FSConfig(30 * sim.Second)
+	if fs.Iterations != 25 || fs.MinProcs != 1 || fs.MaxProcs != 20 || fs.Preferred != 0 {
+		t.Fatalf("FS config deviates from Table I: %+v", fs)
+	}
+	nb := NBodyConfig()
+	if nb.Iterations != 25 || nb.MinProcs != 1 || nb.MaxProcs != 16 || nb.Preferred != 1 {
+		t.Fatalf("N-body config deviates from Table I: %+v", nb)
+	}
+	if JacobiConfig().Class != ClassJacobi {
+		t.Fatal("Jacobi class wrong")
+	}
+}
+
+func TestBulkSplitAppendRoundTrip(t *testing.T) {
+	b := NewBulk(10, 1, 0, 1000)
+	parts := b.Split(3)
+	var wires int64
+	for _, p := range parts {
+		wires += p.WireBytes()
+	}
+	if wires > b.Wire || wires < b.Wire-3 {
+		t.Fatalf("wire bytes not conserved: %d vs %d", wires, b.Wire)
+	}
+	merged := parts[0].Append(parts[1:]...).(*Bulk)
+	if len(merged.Vals) != 10 || merged.Lo != 0 {
+		t.Fatalf("merged %d vals at lo %d", len(merged.Vals), merged.Lo)
+	}
+	for i, v := range merged.Vals {
+		if v != float64(i) {
+			t.Fatalf("merged[%d] = %v", i, v)
+		}
+	}
+}
+
+// chunkEqualFloats compares the flattened payloads of two chunk types we
+// can enumerate.
+func chunkVals(c Chunk) []float64 {
+	switch x := c.(type) {
+	case *Bulk:
+		return x.Vals
+	case *CGChunk:
+		return x.X
+	case *JacobiChunk:
+		return x.X
+	case *NBodyChunk:
+		return x.Parts
+	}
+	return nil
+}
+
+func TestAllChunksSplitAppendIdentity(t *testing.T) {
+	w := &fakeWorkerChunks{}
+	_ = w
+	cfgs := []struct {
+		name string
+		c    Chunk
+	}{
+		{"bulk", NewBulk(17, 1, 0, 1<<20)},
+		{"cg", initCGChunkForTest(12)},
+		{"jacobi", initJacobiChunkForTest(12)},
+		{"nbody", initNBodyChunkForTest(9)},
+	}
+	for _, tc := range cfgs {
+		orig := append([]float64(nil), chunkVals(tc.c)...)
+		for _, parts := range []int{2, 3, 4} {
+			sp := tc.c.Split(parts)
+			merged := sp[0].Append(sp[1:]...)
+			got := chunkVals(merged)
+			if len(got) != len(orig) {
+				t.Fatalf("%s split(%d): length %d vs %d", tc.name, parts, len(got), len(orig))
+			}
+			for i := range got {
+				if got[i] != orig[i] {
+					t.Fatalf("%s split(%d): idx %d changed", tc.name, parts, i)
+				}
+			}
+		}
+	}
+}
+
+type fakeWorkerChunks struct{}
+
+func initCGChunkForTest(n int) *CGChunk {
+	c := &CGChunk{Lo: 0, N: n,
+		Rows: make([]float64, n*n), X: make([]float64, n), B: make([]float64, n),
+		R: make([]float64, n), P: make([]float64, n), Wire: 999}
+	for i := 0; i < n; i++ {
+		c.X[i] = float64(i)
+		for j := 0; j < n; j++ {
+			c.Rows[i*n+j] = cgMatrix(i, j)
+		}
+	}
+	return c
+}
+
+func initJacobiChunkForTest(n int) *JacobiChunk {
+	c := &JacobiChunk{Lo: 0, N: n, Rows: make([]float64, n*n), X: make([]float64, n), B: make([]float64, n)}
+	for i := range c.X {
+		c.X[i] = float64(i)
+	}
+	return c
+}
+
+func initNBodyChunkForTest(n int) *NBodyChunk {
+	c := &NBodyChunk{Parts: make([]float64, n*nbodyStride)}
+	for i := range c.Parts {
+		c.Parts[i] = float64(i)
+	}
+	return c
+}
+
+// --- end-to-end application harness ---------------------------------
+
+type appRun struct {
+	cl     *platform.Cluster
+	ctl    *slurm.Controller
+	finals []Chunk // indexed by final rank
+	sizeAt []int
+}
+
+// runApp executes one job of the given class on a cluster, optionally
+// with the DMR policy enabled, and collects each final rank's chunk.
+func runApp(t *testing.T, class Class, mutate func(*Config), nodes, submit int, withPolicy bool) *appRun {
+	t.Helper()
+	pc := platform.Marenostrum3()
+	pc.Nodes = nodes
+	cl := platform.New(pc)
+	scfg := slurm.DefaultConfig()
+	if withPolicy {
+		scfg.Policy = selectdmr.New()
+	}
+	ctl := slurm.NewController(cl, scfg)
+	run := &appRun{cl: cl, ctl: ctl}
+
+	cfg := ForClass(class)
+	cfg.RealCompute = true
+	cfg.Malleable = withPolicy
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cfg.Final = func(w *nanos.Worker, s Chunk) {
+		if run.finals == nil {
+			run.finals = make([]Chunk, w.R.Size())
+		}
+		run.finals[w.R.Rank()] = s
+	}
+	app := New(class)
+	j := &slurm.Job{Name: class.String(), ReqNodes: submit, TimeLimit: sim.Hour, Flexible: withPolicy}
+	j.Launch = func(j *slurm.Job, _ []*platform.Node) {
+		nanos.Launch(ctl, j, nanos.Config{SchedPeriod: cfg.SchedPeriod, ExpandTimeout: 10 * sim.Second}, func(w *nanos.Worker) {
+			Run(w, cfg, app)
+		})
+	}
+	ctl.Submit(j)
+	cl.K.Run()
+	if j.State != slurm.StateCompleted {
+		t.Fatalf("%s job ended in state %v", class, j.State)
+	}
+	if live := cl.K.LiveProcs(); len(live) != 0 {
+		t.Fatalf("stuck processes: %v", live)
+	}
+	return run
+}
+
+// serialCG runs the reference sequential CG.
+func serialCG(n, iters int) (x []float64, residual float64) {
+	a := make([]float64, n*n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = cgMatrix(i, j)
+		}
+		b[i] = cgRHS(i)
+	}
+	x = make([]float64, n)
+	r := append([]float64(nil), b...)
+	p := append([]float64(nil), b...)
+	rr := 0.0
+	for i := range r {
+		rr += r[i] * r[i]
+	}
+	for t := 0; t < iters; t++ {
+		q := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += a[i*n+j] * p[j]
+			}
+			q[i] = s
+		}
+		pq := 0.0
+		for i := 0; i < n; i++ {
+			pq += p[i] * q[i]
+		}
+		if pq == 0 {
+			break
+		}
+		alpha := rr / pq
+		rrNew := 0.0
+		for i := 0; i < n; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * q[i]
+			rrNew += r[i] * r[i]
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		for i := 0; i < n; i++ {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	return x, math.Sqrt(rr)
+}
+
+func TestCGConvergesFixed(t *testing.T) {
+	run := runApp(t, ClassCG, func(c *Config) {
+		c.Iterations = 30
+		c.ProblemN = 48
+		c.StepsPerCheck = 64 // effectively no checks
+	}, 4, 4, false)
+	if len(run.finals) != 4 {
+		t.Fatalf("finals from %d ranks", len(run.finals))
+	}
+	res := run.finals[0].(*CGChunk).Residual()
+	if res > 1e-8 {
+		t.Fatalf("CG residual %.3e after 30 iters, want < 1e-8", res)
+	}
+	_, serialRes := serialCG(48, 30)
+	if math.Abs(res-serialRes) > 1e-9+1e-6*serialRes {
+		t.Fatalf("parallel residual %.3e vs serial %.3e", res, serialRes)
+	}
+}
+
+func TestCGMatchesSerialAcrossResizes(t *testing.T) {
+	// Lone flexible job: the policy expands it 2→16 in factor-2 steps,
+	// redistributing the live solver state each time. The final iterate
+	// must match the serial solve.
+	run := runApp(t, ClassCG, func(c *Config) {
+		c.Iterations = 25
+		c.ProblemN = 64
+		c.MaxProcs = 16
+		c.SchedPeriod = 0
+		c.StepsPerCheck = 1
+	}, 16, 2, true)
+	want, _ := serialCG(64, 25)
+	var got []float64
+	for _, c := range run.finals {
+		if c == nil {
+			t.Fatal("missing final chunk")
+		}
+		got = append(got, c.(*CGChunk).X...)
+	}
+	if len(got) != 64 {
+		t.Fatalf("gathered %d entries", len(got))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %.12f, serial %.12f (diverged across resizes)", i, got[i], want[i])
+		}
+	}
+	if len(run.finals) < 4 {
+		t.Fatalf("expected expansion to >2 ranks, finished with %d", len(run.finals))
+	}
+}
+
+func TestJacobiConverges(t *testing.T) {
+	run := runApp(t, ClassJacobi, func(c *Config) {
+		c.Iterations = 60
+		c.ProblemN = 40
+		c.StepsPerCheck = 128
+	}, 4, 4, false)
+	var x []float64
+	for _, c := range run.finals {
+		x = append(x, c.(*JacobiChunk).X...)
+	}
+	// Verify residual directly.
+	n := 40
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		ax := 0.0
+		for j := 0; j < n; j++ {
+			ax += jacMatrix(i, j) * x[j]
+		}
+		if d := math.Abs(ax - jacRHS(i)); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-8 {
+		t.Fatalf("Jacobi residual %.3e after 60 sweeps", worst)
+	}
+}
+
+func TestJacobiMatchesSerialAcrossResizes(t *testing.T) {
+	// Same invariance check as CG: a lone flexible Jacobi job expanding
+	// 2→8 must produce the same iterate as a fixed 4-rank run.
+	fixed := runApp(t, ClassJacobi, func(c *Config) {
+		c.Iterations = 20
+		c.ProblemN = 32
+		c.StepsPerCheck = 64
+	}, 4, 4, false)
+	flex := runApp(t, ClassJacobi, func(c *Config) {
+		c.Iterations = 20
+		c.ProblemN = 32
+		c.MaxProcs = 8
+		c.Preferred = 0
+		c.SchedPeriod = 0
+		c.StepsPerCheck = 1
+	}, 8, 2, true)
+	var a, b []float64
+	for _, c := range fixed.finals {
+		a = append(a, c.(*JacobiChunk).X...)
+	}
+	for _, c := range flex.finals {
+		b = append(b, c.(*JacobiChunk).X...)
+	}
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("x[%d]: fixed %.15f vs flexible %.15f", i, a[i], b[i])
+		}
+	}
+	if len(flex.finals) < 4 {
+		t.Fatalf("flexible run finished with %d ranks, expected expansion", len(flex.finals))
+	}
+}
+
+func TestWireBytesConservedAcrossRedistribution(t *testing.T) {
+	// The modeled wire volume must be (approximately, up to integer
+	// division) conserved by Split/Append chains so transfer costs stay
+	// meaningful across many resizes.
+	b := NewBulk(64, 1, 0, 1<<30)
+	parts := b.Split(4)
+	var sub []Chunk
+	for _, p := range parts {
+		sub = append(sub, p.Split(2)...)
+	}
+	merged := sub[0].Append(sub[1:]...)
+	if got := merged.WireBytes(); got < (1<<30)-64 || got > 1<<30 {
+		t.Fatalf("wire bytes after split/merge chain: %d", got)
+	}
+}
+
+func TestNBodyConservesMomentum(t *testing.T) {
+	run := runApp(t, ClassNBody, func(c *Config) {
+		c.Iterations = 10
+		c.ProblemN = 30
+		c.StepsPerCheck = 32
+	}, 3, 3, false)
+	var px, py float64
+	for _, c := range run.finals {
+		x, y := c.(*NBodyChunk).Momentum()
+		px += x
+		py += y
+	}
+	// The ring starts with zero net momentum; softened symmetric forces
+	// keep it near zero.
+	if math.Abs(px) > 1e-9 || math.Abs(py) > 1e-9 {
+		t.Fatalf("net momentum (%.3e, %.3e) after 10 steps", px, py)
+	}
+}
+
+func TestNBodyTrajectoryInvariantUnderResize(t *testing.T) {
+	fixed := runApp(t, ClassNBody, func(c *Config) {
+		c.Iterations = 8
+		c.ProblemN = 24
+		c.StepsPerCheck = 32
+	}, 4, 4, false)
+	flex := runApp(t, ClassNBody, func(c *Config) {
+		c.Iterations = 8
+		c.ProblemN = 24
+		c.MaxProcs = 8
+		c.Preferred = 0
+		c.StepsPerCheck = 1
+	}, 8, 2, true)
+	var a, b []float64
+	for _, c := range fixed.finals {
+		a = append(a, c.(*NBodyChunk).Parts...)
+	}
+	for _, c := range flex.finals {
+		b = append(b, c.(*NBodyChunk).Parts...)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("particle counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("particle component %d differs: %.12f vs %.12f", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFSRuntimeScalesLinearly(t *testing.T) {
+	// Fixed FS at 4 procs with a 40 s sequential step and 5 iterations
+	// must take 5 * 40/4 = 50 s of virtual time.
+	pc := platform.Marenostrum3()
+	pc.Nodes = 4
+	cl := platform.New(pc)
+	ctl := slurm.NewController(cl, slurm.DefaultConfig())
+	cfg := FSConfig(40 * sim.Second)
+	cfg.Iterations = 5
+	app := New(ClassFS)
+	j := &slurm.Job{Name: "fs", ReqNodes: 4, TimeLimit: sim.Hour}
+	j.Launch = func(j *slurm.Job, _ []*platform.Node) {
+		nanos.Launch(ctl, j, nanos.Config{}, func(w *nanos.Worker) { Run(w, cfg, app) })
+	}
+	ctl.Submit(j)
+	cl.K.Run()
+	got := j.ExecTime()
+	want := 50 * sim.Second
+	// Allow scheduling/RPC slack well under a step.
+	if got < want || got > want+sim.Second {
+		t.Fatalf("FS exec time %v, want ~%v", got, want)
+	}
+}

@@ -1,0 +1,85 @@
+package apps
+
+import (
+	"repro/internal/redist"
+)
+
+// Chunk is a rank's share of an application's redistributable state. The
+// malleable skeleton splits chunks on expansion, merges them on shrink,
+// and ships them through the runtime's offload mechanism; WireBytes is
+// the modeled transfer size (workload simulations carry paper-scale
+// volumes over scaled-down in-memory stand-ins).
+//
+// Contract: Split produces `parts` contiguous sub-chunks in global
+// order; Append concatenates chunks that are globally adjacent, in
+// order. Both preserve the multiset of underlying data.
+type Chunk interface {
+	Split(parts int) []Chunk
+	Append(tail ...Chunk) Chunk
+	WireBytes() int64
+	CloneData() any // mpi.Cloner: offloads must not alias
+}
+
+// Bulk is the plain distributed vector used by FS: a block of doubles
+// with its global offset (the paper's "array of doubles, distributed
+// among the ranks").
+type Bulk struct {
+	Lo   int
+	Vals []float64
+	Wire int64
+}
+
+// NewBulk builds rank r's share of an n-element vector distributed over
+// p ranks, with the given modeled total wire size.
+func NewBulk(n, p, r int, totalWire int64) *Bulk {
+	lo, hi := redist.Offset(n, p, r), redist.Offset(n, p, r+1)
+	vals := make([]float64, hi-lo)
+	for i := range vals {
+		vals[i] = float64(lo + i)
+	}
+	wire := int64(0)
+	if n > 0 {
+		wire = totalWire * int64(hi-lo) / int64(n)
+	}
+	return &Bulk{Lo: lo, Vals: vals, Wire: wire}
+}
+
+// Split implements Chunk.
+func (b *Bulk) Split(parts int) []Chunk {
+	blocks := redist.Split(b.Vals, parts)
+	out := make([]Chunk, parts)
+	off := b.Lo
+	for i, blk := range blocks {
+		out[i] = &Bulk{Lo: off, Vals: blk, Wire: b.Wire * int64(len(blk)) / maxI64(int64(len(b.Vals)), 1)}
+		off += len(blk)
+	}
+	return out
+}
+
+// Append implements Chunk.
+func (b *Bulk) Append(tail ...Chunk) Chunk {
+	out := &Bulk{Lo: b.Lo, Vals: append([]float64(nil), b.Vals...), Wire: b.Wire}
+	for _, t := range tail {
+		tb := t.(*Bulk)
+		out.Vals = append(out.Vals, tb.Vals...)
+		out.Wire += tb.Wire
+	}
+	return out
+}
+
+// WireBytes implements Chunk.
+func (b *Bulk) WireBytes() int64 { return b.Wire }
+
+// CloneData implements mpi.Cloner.
+func (b *Bulk) CloneData() any {
+	vals := make([]float64, len(b.Vals))
+	copy(vals, b.Vals)
+	return &Bulk{Lo: b.Lo, Vals: vals, Wire: b.Wire}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

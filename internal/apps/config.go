@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"repro/internal/nanos"
+	"repro/internal/sim"
+)
+
+// Class identifies one of the paper's applications.
+type Class int
+
+// Application classes (§VII-B).
+const (
+	ClassFS Class = iota
+	ClassCG
+	ClassJacobi
+	ClassNBody
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassFS:
+		return "FS"
+	case ClassCG:
+		return "CG"
+	case ClassJacobi:
+		return "Jacobi"
+	case ClassNBody:
+		return "N-body"
+	}
+	return "?"
+}
+
+// Config parameterizes one job's application instance. The zero values
+// of MinProcs/MaxProcs/etc. are filled from Table I by the constructors.
+type Config struct {
+	Class      Class
+	Iterations int
+	MinProcs   int
+	MaxProcs   int
+	Preferred  int
+	Factor     int
+
+	// SchedPeriod is the checking-inhibitor period (Table I: 15 s for CG
+	// and Jacobi, none for FS and N-body).
+	SchedPeriod sim.Time
+
+	// Model charges virtual time per iteration; SeqStep is its
+	// sequential step time.
+	Model ScalModel
+
+	// DataBytes is the modeled redistribution payload for the whole job
+	// (the preliminary study moves 1 GB, §VIII).
+	DataBytes int64
+
+	// ProblemN sizes the real in-memory state (vector length, matrix
+	// dimension, particle count). Kept small in workload simulations.
+	ProblemN int
+
+	// RealCompute runs the actual numeric kernels each step (examples
+	// and tests); when false only the time model advances, while
+	// redistribution still moves the real state.
+	RealCompute bool
+
+	// StepsPerCheck batches this many iterations between reconfiguring
+	// points (1 = a check every iteration, the Listing 3 literal form).
+	// Checks landing inside the inhibitor period are ignored anyway, so
+	// batching approximates the same behaviour at far lower event cost.
+	StepsPerCheck int
+
+	// UseAsync selects dmr_icheck_status at the reconfiguring points.
+	UseAsync bool
+
+	// Malleable enables the reconfiguring points. Fixed jobs (rigid
+	// submissions) run the same loop without ever consulting the DMR
+	// API — the paper's framework "is compatible with unmodified
+	// non-malleable applications" (§II).
+	Malleable bool
+
+	// CRTransfer redirects reconfiguration data through the parallel
+	// filesystem, checkpoint/restart style: old ranks write their
+	// blocks, respawned ranks read them back. It isolates, at workload
+	// scale, the mechanism cost Figure 1 measures per resize. DMR's
+	// in-memory redistribution is the default (false).
+	CRTransfer bool
+
+	// Final, when set, runs on every rank after the last iteration,
+	// before completion is reported (used by tests and examples to
+	// collect results).
+	Final func(w *nanos.Worker, s Chunk)
+}
+
+// Request returns the DMR request the application presents at each
+// reconfiguring point.
+func (c Config) Request() nanos.Request {
+	return nanos.Request{Min: c.MinProcs, Max: c.MaxProcs, Factor: c.Factor, Preferred: c.Preferred}
+}
+
+// GiB is a modeled data volume unit.
+const GiB = int64(1) << 30
+
+// Table I of the paper, plus the calibrated sequential step times of
+// DESIGN.md §5.
+
+// FSConfig returns the Flexible Sleep configuration: 25 iterations,
+// 1-20 processes, no preference, no inhibitor; seqStep is the job's
+// 1-process step time (workload-dependent).
+func FSConfig(seqStep sim.Time) Config {
+	return Config{
+		Class: ClassFS, Iterations: 25, MinProcs: 1, MaxProcs: 20, Factor: 2,
+		Model: Linear{Seq: seqStep}, DataBytes: 1 * GiB, ProblemN: 64,
+		StepsPerCheck: 1,
+	}
+}
+
+// CGConfig returns the Conjugate Gradient configuration: 10000
+// iterations, 2-32 processes, preferred 8, 15 s inhibitor.
+func CGConfig() Config {
+	return Config{
+		Class: ClassCG, Iterations: 10000, MinProcs: 2, MaxProcs: 32, Preferred: 8, Factor: 2,
+		SchedPeriod: 15 * sim.Second,
+		Model:       HighScalability(350 * sim.Millisecond),
+		DataBytes:   1 * GiB, ProblemN: 64,
+		StepsPerCheck: 64,
+	}
+}
+
+// JacobiConfig returns the Jacobi configuration (same envelope as CG).
+func JacobiConfig() Config {
+	cfg := CGConfig()
+	cfg.Class = ClassJacobi
+	return cfg
+}
+
+// NBodyConfig returns the N-body configuration: 25 costly iterations,
+// 1-16 processes, preferred 1, no inhibitor.
+func NBodyConfig() Config {
+	return Config{
+		Class: ClassNBody, Iterations: 25, MinProcs: 1, MaxProcs: 16, Preferred: 1, Factor: 2,
+		Model:     ConstantPerformance(24 * sim.Second),
+		DataBytes: 512 << 20, ProblemN: 64,
+		StepsPerCheck: 1,
+	}
+}
+
+// ForClass returns the Table I configuration of a class (FS with a 30 s
+// sequential step, the preliminary-study scale).
+func ForClass(c Class) Config {
+	switch c {
+	case ClassCG:
+		return CGConfig()
+	case ClassJacobi:
+		return JacobiConfig()
+	case ClassNBody:
+		return NBodyConfig()
+	default:
+		return FSConfig(30 * sim.Second)
+	}
+}

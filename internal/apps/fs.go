@@ -1,0 +1,22 @@
+package apps
+
+import "repro/internal/nanos"
+
+// FS is the Flexible Sleep synthetic application (§VII-B1): each
+// iteration "computes" for a duration that scales perfectly linearly
+// with the process count (charged by the Linear model), while an array
+// of doubles distributed among the ranks forms the data dependency that
+// is redistributed at every reconfiguration.
+type FS struct{}
+
+// Name implements App.
+func (*FS) Name() string { return "FS" }
+
+// Init implements App.
+func (*FS) Init(w *nanos.Worker, cfg Config) Chunk {
+	return NewBulk(cfg.ProblemN, w.R.Size(), w.R.Rank(), cfg.DataBytes)
+}
+
+// Step implements App. The computation is pure sleep; the malleable
+// loop's time model covers it entirely.
+func (*FS) Step(w *nanos.Worker, cfg Config, s Chunk, t int) {}

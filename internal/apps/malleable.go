@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/nanos"
+	"repro/internal/redist"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+)
+
+// App is one application's behaviour: building its initial state and
+// executing one (real) iteration. The malleable loop skeleton (Run)
+// supplies the reconfiguration logic around it.
+type App interface {
+	Name() string
+	// Init builds this rank's share of the problem for a fresh start.
+	Init(w *nanos.Worker, cfg Config) Chunk
+	// Step runs iteration t's real computation (RealCompute mode only).
+	// It may communicate through w.R; all ranks call it in lockstep.
+	Step(w *nanos.Worker, cfg Config, s Chunk, t int)
+}
+
+// New constructs the App implementation for a class.
+func New(c Class) App {
+	switch c {
+	case ClassCG:
+		return &CG{}
+	case ClassJacobi:
+		return &Jacobi{}
+	case ClassNBody:
+		return &NBody{}
+	default:
+		return &FS{}
+	}
+}
+
+// dataTag carries shrink pre-merge traffic between old-set ranks
+// (Listing 3's explicit MPI_Isend/MPI_Irecv phase).
+const dataTag = 101
+
+// Run is the malleable main loop of the paper's Listing 3: iterate,
+// probe the DMR API at reconfiguring points, and on a granted action
+// redistribute the state onto the freshly spawned process set and
+// terminate this one. Spawned sets re-enter Run and resume from the
+// offloaded iteration.
+func Run(w *nanos.Worker, cfg Config, app App) {
+	var state Chunk
+	if w.InitData() != nil {
+		state = w.InitData().(Chunk)
+		if cfg.CRTransfer {
+			// C/R mode: the block contents came from disk, not from the
+			// wire — pay the restart read before resuming.
+			cp := checkpoint.New(w.R.Comm().Cluster())
+			cp.Read(w.R.Proc(), state.WireBytes())
+		}
+	} else {
+		state = app.Init(w, cfg)
+	}
+	req := cfg.Request()
+	batch := cfg.StepsPerCheck
+	if batch < 1 {
+		batch = 1
+	}
+
+	for t := w.StartIter(); t < cfg.Iterations; {
+		if cfg.Malleable {
+			var action slurm.Action
+			var h *nanos.Handler
+			if cfg.UseAsync {
+				action, h = w.ICheckStatus(req)
+			} else {
+				action, h = w.CheckStatus(req)
+			}
+			if action != slurm.NoAction {
+				redistribute(w, h, action, state, t, cfg.CRTransfer)
+				w.Taskwait()
+				return
+			}
+		}
+		b := batch
+		if t+b > cfg.Iterations {
+			b = cfg.Iterations - t
+		}
+		if cfg.RealCompute {
+			for i := 0; i < b; i++ {
+				app.Step(w, cfg, state, t+i)
+			}
+		}
+		w.R.Proc().Sleep(sim.Time(b) * cfg.Model.StepTime(w.R.Size()))
+		t += b
+	}
+	if cfg.Final != nil {
+		cfg.Final(w, state)
+	}
+}
+
+// redistribute implements both transfer patterns of Figure 2 on top of
+// the offload semantics.
+//
+// Expand (factor f = new/old): each old rank splits its chunk into f
+// sub-chunks and offloads sub-chunk i onto new rank r*f+i.
+//
+// Shrink (factor f = old/new): ranks are grouped by f; the last rank of
+// each group is the receiver, the rest send it their chunks (explicit
+// data movement on the old communicator), and the receiver offloads the
+// merged chunk onto new rank r/f.
+func redistribute(w *nanos.Worker, h *nanos.Handler, action slurm.Action, state Chunk, t int, cr bool) {
+	oldP, newP := w.R.Size(), h.NewSize
+	r := w.R.Rank()
+	if cr {
+		// Checkpoint/restart mechanism: this rank's share goes through
+		// the PFS; the respawned set pays the read on resume. Only the
+		// control handoff (task + tiny payload) uses the network.
+		cp := checkpoint.New(w.R.Comm().Cluster())
+		cp.Write(w.R.Proc(), state.WireBytes())
+	}
+	wire := func(c Chunk) int64 {
+		if cr {
+			return 0 // data travels via the PFS, not the wire
+		}
+		return c.WireBytes()
+	}
+	switch action {
+	case slurm.Expand:
+		factor, ok := redist.ExpandFactor(oldP, newP)
+		if !ok {
+			panic(fmt.Sprintf("apps: non-homogeneous expand %d->%d", oldP, newP))
+		}
+		for i, part := range state.Split(factor) {
+			w.Offload(redist.ExpandDest(r, factor, i), part, wire(part), t)
+		}
+	case slurm.Shrink:
+		factor, ok := redist.ShrinkFactor(oldP, newP)
+		if !ok {
+			panic(fmt.Sprintf("apps: non-homogeneous shrink %d->%d", oldP, newP))
+		}
+		sender, dst := redist.ShrinkRole(r, factor)
+		if sender {
+			w.R.Send(dst, dataTag, state, wire(state))
+			return
+		}
+		pieces := make([]Chunk, 0, factor)
+		for i := 0; i < factor-1; i++ {
+			src := r - factor + 1 + i
+			pieces = append(pieces, w.R.Recv(src, dataTag).Data.(Chunk))
+		}
+		merged := state
+		if len(pieces) > 0 {
+			merged = pieces[0].Append(append(pieces[1:], state)...)
+		}
+		w.Offload(dst, merged, wire(merged), t)
+	}
+}

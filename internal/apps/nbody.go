@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/nanos"
+	"repro/internal/redist"
+)
+
+// nbodyStride is the flattened particle layout: x, y, vx, vy, mass.
+const nbodyStride = 5
+
+// NBodyChunk is a rank's share of the particle array (§VII-B4: "an array
+// of particles with information about position, velocity, mass and
+// weight", split or merged on every rescale). Particles are flattened
+// into a float vector so the MPI float paths carry them natively.
+type NBodyChunk struct {
+	Lo    int // first particle index
+	Parts []float64
+	Wire  int64
+}
+
+// NParticles returns the number of particles in the chunk.
+func (c *NBodyChunk) NParticles() int { return len(c.Parts) / nbodyStride }
+
+// NBody is the N-body simulation application (§VII-B4): every iteration
+// each process exchanges its local subset with all others and computes
+// forces on its own particles from the whole set.
+type NBody struct{}
+
+// Name implements App.
+func (*NBody) Name() string { return "N-body" }
+
+// nbodyDT is the integration step.
+const nbodyDT = 1e-2
+
+// Init implements App: a deterministic ring of particles with varied
+// masses and tangential velocities.
+func (*NBody) Init(w *nanos.Worker, cfg Config) Chunk {
+	n := cfg.ProblemN
+	p, r := w.R.Size(), w.R.Rank()
+	lo, hi := redist.Offset(n, p, r), redist.Offset(n, p, r+1)
+	c := &NBodyChunk{Lo: lo, Parts: make([]float64, (hi-lo)*nbodyStride)}
+	for i := lo; i < hi; i++ {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		k := (i - lo) * nbodyStride
+		c.Parts[k+0] = math.Cos(th)
+		c.Parts[k+1] = math.Sin(th)
+		c.Parts[k+2] = -0.3 * math.Sin(th)
+		c.Parts[k+3] = 0.3 * math.Cos(th)
+		c.Parts[k+4] = 1 + 0.5*float64(i%3)
+	}
+	if n > 0 {
+		c.Wire = cfg.DataBytes * int64(hi-lo) / int64(n)
+	}
+	return c
+}
+
+// Step implements App: allgather the particle set, then integrate the
+// local subset under softened gravity (leapfrog-style kick-drift).
+func (*NBody) Step(w *nanos.Worker, cfg Config, s Chunk, t int) {
+	c := s.(*NBodyChunk)
+	all := w.R.AllgatherFloats(c.Parts)
+	const soft = 1e-2
+	nAll := len(all) / nbodyStride
+	for i := 0; i < c.NParticles(); i++ {
+		k := i * nbodyStride
+		xi, yi := c.Parts[k], c.Parts[k+1]
+		ax, ay := 0.0, 0.0
+		gi := c.Lo + i
+		for j := 0; j < nAll; j++ {
+			if j == gi {
+				continue
+			}
+			kj := j * nbodyStride
+			dx, dy := all[kj]-xi, all[kj+1]-yi
+			d2 := dx*dx + dy*dy + soft
+			inv := all[kj+4] / (d2 * math.Sqrt(d2))
+			ax += dx * inv
+			ay += dy * inv
+		}
+		c.Parts[k+2] += nbodyDT * ax
+		c.Parts[k+3] += nbodyDT * ay
+	}
+	for i := 0; i < c.NParticles(); i++ {
+		k := i * nbodyStride
+		c.Parts[k+0] += nbodyDT * c.Parts[k+2]
+		c.Parts[k+1] += nbodyDT * c.Parts[k+3]
+	}
+}
+
+// Momentum returns the chunk's local (px, py) momentum sums.
+func (c *NBodyChunk) Momentum() (px, py float64) {
+	for i := 0; i < c.NParticles(); i++ {
+		k := i * nbodyStride
+		px += c.Parts[k+4] * c.Parts[k+2]
+		py += c.Parts[k+4] * c.Parts[k+3]
+	}
+	return px, py
+}
+
+// Split implements Chunk.
+func (c *NBodyChunk) Split(parts int) []Chunk {
+	n := c.NParticles()
+	out := make([]Chunk, parts)
+	for k := 0; k < parts; k++ {
+		lo, hi := redist.Offset(n, parts, k), redist.Offset(n, parts, k+1)
+		sub := &NBodyChunk{Lo: c.Lo + lo,
+			Parts: append([]float64(nil), c.Parts[lo*nbodyStride:hi*nbodyStride]...)}
+		if n > 0 {
+			sub.Wire = c.Wire * int64(hi-lo) / int64(n)
+		}
+		out[k] = sub
+	}
+	return out
+}
+
+// Append implements Chunk.
+func (c *NBodyChunk) Append(tail ...Chunk) Chunk {
+	out := &NBodyChunk{Lo: c.Lo, Wire: c.Wire,
+		Parts: append([]float64(nil), c.Parts...)}
+	for _, t := range tail {
+		tc := t.(*NBodyChunk)
+		out.Parts = append(out.Parts, tc.Parts...)
+		out.Wire += tc.Wire
+	}
+	return out
+}
+
+// WireBytes implements Chunk.
+func (c *NBodyChunk) WireBytes() int64 { return c.Wire }
+
+// CloneData implements mpi.Cloner.
+func (c *NBodyChunk) CloneData() any {
+	out := *c
+	out.Parts = append([]float64(nil), c.Parts...)
+	return &out
+}

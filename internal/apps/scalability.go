@@ -1,0 +1,82 @@
+// Package apps implements the paper's four flexible applications —
+// Flexible Sleep (FS), Conjugate Gradient (CG), Jacobi, and N-body
+// (§VII-B) — on top of the DMR runtime, together with their Table I
+// configurations and the scalability models of §IX-A used to charge
+// virtual compute time in workload experiments.
+//
+// Every application follows the paper's Listing 3: an iterative main
+// loop with a reconfiguring point per step; on an "expand" verdict the
+// local block is partitioned and offloaded onto the new process set, and
+// on "shrink" the group's blocks are first merged onto a receiver rank
+// which then offloads the merged block. The numeric kernels are real (and
+// verified by tests); their virtual duration comes from the calibrated
+// models so that workload-scale simulations match the paper's regime.
+package apps
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// ScalModel yields the virtual duration of one application iteration as
+// a function of the number of processes.
+type ScalModel interface {
+	StepTime(p int) sim.Time
+}
+
+// Linear is perfect linear scalability: StepTime(p) = Seq/p. This is the
+// FS application's contract (§VII-B1).
+type Linear struct {
+	Seq sim.Time // sequential (1-process) step time
+}
+
+// StepTime implements ScalModel.
+func (l Linear) StepTime(p int) sim.Time {
+	if p < 1 {
+		p = 1
+	}
+	return l.Seq / sim.Time(p)
+}
+
+// Curve is a measured-speedup model: speedups at powers of two, with
+// geometric interpolation in between. Callers list Speedup[k] = S(2^k).
+type Curve struct {
+	Seq      sim.Time
+	Speedups []float64 // index k holds S(2^k); Speedups[0] must be 1
+}
+
+// speedup interpolates S(p) for arbitrary p >= 1, holding the last table
+// value beyond the table end.
+func (c Curve) speedup(p int) float64 {
+	if p <= 1 || len(c.Speedups) == 0 {
+		return 1
+	}
+	lg := math.Log2(float64(p))
+	k := int(lg)
+	if k >= len(c.Speedups)-1 {
+		return c.Speedups[len(c.Speedups)-1]
+	}
+	frac := lg - float64(k)
+	lo, hi := c.Speedups[k], c.Speedups[k+1]
+	return lo * math.Pow(hi/lo, frac)
+}
+
+// StepTime implements ScalModel.
+func (c Curve) StepTime(p int) sim.Time {
+	return sim.Time(float64(c.Seq) / c.speedup(p))
+}
+
+// HighScalability returns the CG/Jacobi-class curve of §IX-A: highest
+// speedup at 32 processes, but past 8 processes each doubling gains less
+// than 10% — 8 is the "sweet configuration spot".
+func HighScalability(seq sim.Time) Curve {
+	return Curve{Seq: seq, Speedups: []float64{1, 1.92, 3.6, 5.9, 6.45, 7.05}}
+}
+
+// ConstantPerformance returns the N-body-class curve of §IX-A: maximum
+// performance at 16 processes but less than 10% total gain over the
+// sequential run — the sweet spot is a single process.
+func ConstantPerformance(seq sim.Time) Curve {
+	return Curve{Seq: seq, Speedups: []float64{1, 1.03, 1.06, 1.08, 1.09}}
+}

@@ -1,0 +1,79 @@
+// Package checkpoint models the Checkpoint/Restart reconfiguration
+// baseline the paper compares the DMR API against (Figure 1): to change
+// the process count, the application saves its state to the parallel
+// filesystem, terminates, is resubmitted at the new size, and reloads
+// the state from disk — paying the PFS round trip plus requeue and
+// relaunch costs that in-memory redistribution avoids.
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Checkpointer writes and reads checkpoint streams through the cluster's
+// shared parallel filesystem. The PFS serves a fixed number of
+// concurrent streams (service slots), each at an equal share of the
+// aggregate bandwidth; additional streams queue.
+type Checkpointer struct {
+	cl *platform.Cluster
+}
+
+// New returns a checkpointer over the cluster's PFS.
+func New(cl *platform.Cluster) *Checkpointer { return &Checkpointer{cl: cl} }
+
+// StreamRate is the per-stream bandwidth while holding a service slot.
+func (c *Checkpointer) StreamRate() float64 {
+	return c.cl.Cfg.PFSBytesPS / float64(c.cl.Cfg.PFSConcurrent)
+}
+
+// streamTime is the in-slot service time for one stream of size bytes.
+func (c *Checkpointer) streamTime(bytes int64) sim.Time {
+	return c.cl.Cfg.PFSOpenCost + sim.Seconds(float64(bytes)/c.StreamRate())
+}
+
+// Write saves one process's share of the checkpoint, blocking p for the
+// queueing plus transfer time.
+func (c *Checkpointer) Write(p *sim.Proc, bytes int64) {
+	c.cl.PFS.Acquire(p)
+	p.Sleep(c.streamTime(bytes))
+	c.cl.PFS.Release()
+}
+
+// Read loads one process's share of a checkpoint, blocking p for the
+// queueing plus transfer time.
+func (c *Checkpointer) Read(p *sim.Proc, bytes int64) {
+	c.cl.PFS.Acquire(p)
+	p.Sleep(c.streamTime(bytes))
+	c.cl.PFS.Release()
+}
+
+// EstimateFullResize returns the modeled time of a complete C/R resize
+// of a job from oldP to newP processes with the given total state size:
+// oldP parallel writers, a requeue/scheduling delay, newP process
+// launches, and newP parallel readers. Useful for analytic cross-checks
+// of the simulated flow.
+func (c *Checkpointer) EstimateFullResize(totalBytes int64, oldP, newP int, requeue sim.Time) sim.Time {
+	write := c.phaseTime(totalBytes, oldP)
+	read := c.phaseTime(totalBytes, newP)
+	launch := c.cl.Cfg.SpawnBase + c.cl.Cfg.SpawnPerProc*sim.Time(newP)
+	return write + requeue + launch + read
+}
+
+// phaseTime is the duration of p equal streams moving totalBytes through
+// the slot-limited PFS.
+func (c *Checkpointer) phaseTime(totalBytes int64, p int) sim.Time {
+	if p <= 0 {
+		return 0
+	}
+	per := c.streamTime(totalBytes / int64(p))
+	waves := (p + c.cl.Cfg.PFSConcurrent - 1) / c.cl.Cfg.PFSConcurrent
+	return per * sim.Time(waves)
+}
+
+func (c *Checkpointer) String() string {
+	return fmt.Sprintf("pfs{%.0f MB/s aggregate, %d slots, %v open}",
+		c.cl.Cfg.PFSBytesPS/1e6, c.cl.Cfg.PFSConcurrent, c.cl.Cfg.PFSOpenCost)
+}

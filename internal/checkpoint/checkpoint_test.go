@@ -1,0 +1,110 @@
+package checkpoint
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func testCluster() *platform.Cluster {
+	cfg := platform.Marenostrum3()
+	cfg.PFSBytesPS = 400e6 // 400 MB/s aggregate
+	cfg.PFSConcurrent = 4  // → 100 MB/s per stream
+	cfg.PFSOpenCost = 100 * sim.Millisecond
+	return platform.New(cfg)
+}
+
+func TestSingleStreamTime(t *testing.T) {
+	cl := testCluster()
+	cp := New(cl)
+	var done sim.Time
+	cl.K.Spawn("writer", func(p *sim.Proc) {
+		cp.Write(p, 200e6) // 200 MB at 100 MB/s + 0.1s open = 2.1s
+		done = p.Now()
+	})
+	cl.K.Run()
+	want := 2100 * sim.Millisecond
+	if done != want {
+		t.Fatalf("write took %v, want %v", done, want)
+	}
+}
+
+func TestSlotContentionSerializesWaves(t *testing.T) {
+	cl := testCluster()
+	cp := New(cl)
+	var last sim.Time
+	for i := 0; i < 8; i++ { // 8 streams, 4 slots → 2 waves
+		cl.K.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			cp.Write(p, 100e6) // 1.1s in-slot
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	cl.K.Run()
+	want := 2200 * sim.Millisecond
+	if last != want {
+		t.Fatalf("8 streams over 4 slots finished at %v, want %v", last, want)
+	}
+}
+
+func TestReadWriteSymmetric(t *testing.T) {
+	cl := testCluster()
+	cp := New(cl)
+	var w, r sim.Time
+	cl.K.Spawn("wr", func(p *sim.Proc) {
+		start := p.Now()
+		cp.Write(p, 50e6)
+		w = p.Now() - start
+		start = p.Now()
+		cp.Read(p, 50e6)
+		r = p.Now() - start
+	})
+	cl.K.Run()
+	if w != r {
+		t.Fatalf("write %v != read %v", w, r)
+	}
+}
+
+func TestEstimateFullResizeMatchesSimulatedPhases(t *testing.T) {
+	cl := testCluster()
+	cp := New(cl)
+	const total = int64(800e6)
+	oldP, newP := 8, 4
+
+	// Simulate the write phase with real processes.
+	var writeEnd sim.Time
+	for i := 0; i < oldP; i++ {
+		cl.K.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			cp.Write(p, total/int64(oldP))
+			if p.Now() > writeEnd {
+				writeEnd = p.Now()
+			}
+		})
+	}
+	cl.K.Run()
+	wantWrite := cp.phaseTime(total, oldP)
+	if writeEnd != wantWrite {
+		t.Fatalf("simulated write phase %v, estimate %v", writeEnd, wantWrite)
+	}
+
+	est := cp.EstimateFullResize(total, oldP, newP, sim.Second)
+	if est <= wantWrite {
+		t.Fatal("estimate must include requeue, launch and read")
+	}
+}
+
+func TestCRMuchSlowerThanNetworkRedistribution(t *testing.T) {
+	// The Figure 1 premise: moving state through the PFS costs orders of
+	// magnitude more than in-memory redistribution over the interconnect.
+	cl := testCluster()
+	cp := New(cl)
+	const state = int64(2) << 30
+	cr := cp.EstimateFullResize(state, 48, 24, sim.Second)
+	netTime := cl.Net().TransferTime(state / 24) // per new rank, overlapped
+	if float64(cr) < 20*float64(netTime) {
+		t.Fatalf("C/R %v vs network %v: expected >20x gap", cr, netTime)
+	}
+}

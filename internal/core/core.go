@@ -1,0 +1,197 @@
+// Package core assembles the full DMR framework — simulated cluster,
+// Slurm-like controller with the Algorithm 1 selection policy, the
+// Nanos++-like runtime, and the paper's applications — into one facade
+// for running workloads. This is the library entry point the examples,
+// benchmarks and command-line tools build on.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/metrics"
+	"repro/internal/nanos"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+	"repro/internal/slurm/selectdmr"
+	"repro/internal/workload"
+)
+
+// Config shapes a System.
+type Config struct {
+	// Nodes overrides the cluster size (0 keeps the platform default of
+	// 65, the paper's testbed).
+	Nodes int
+	// Platform overrides the full hardware description when non-nil.
+	Platform *platform.Config
+	// Policy enables the DMR reconfiguration policy. Without it, even
+	// flexible jobs receive "no action" on every check.
+	Policy bool
+	// Async runs flexible jobs with dmr_icheck_status semantics (§VIII-C).
+	Async bool
+	// SchedPeriod, when >= 0, overrides every application's checking
+	// inhibitor period; -1 keeps each class's Table I default.
+	SchedPeriod sim.Time
+	// StepsPerCheck, when > 0, overrides the reconfiguring-point batching.
+	StepsPerCheck int
+	// RealCompute runs real numeric kernels inside jobs (examples/tests;
+	// workload experiments rely on the time models only).
+	RealCompute bool
+	// ProblemN overrides the in-memory stand-in state size.
+	ProblemN int
+	// TimeLimitFactor scales job runtime estimates into time limits for
+	// backfill reservations (default 4).
+	TimeLimitFactor float64
+	// MoldableSubmissions enables the paper's future-work extension
+	// (§X): jobs are submitted with a node range [min, requested] and
+	// the scheduler picks the start size.
+	MoldableSubmissions bool
+	// FactorOverride, when > 0, replaces every application's resizing
+	// factor (the paper fixes 2; the ablation sweeps it).
+	FactorOverride int
+	// PreferredOnlyPolicy ablates Algorithm 1 to its preferred-size
+	// branch, disabling wide optimization.
+	PreferredOnlyPolicy bool
+	// CRTransfer moves reconfiguration data through the parallel
+	// filesystem (checkpoint/restart style) instead of the in-memory
+	// offload path — the workload-scale version of Figure 1's baseline.
+	CRTransfer bool
+}
+
+// DefaultConfig returns the standard experiment setup.
+func DefaultConfig() Config {
+	return Config{Policy: true, SchedPeriod: -1, TimeLimitFactor: 4}
+}
+
+// System is a wired cluster ready to accept workloads.
+type System struct {
+	Cfg      Config
+	Cluster  *platform.Cluster
+	Ctl      *slurm.Controller
+	Recorder *metrics.Recorder
+
+	jobs []*slurm.Job
+}
+
+// NewSystem builds a fresh simulated system.
+func NewSystem(cfg Config) *System {
+	if cfg.TimeLimitFactor <= 0 {
+		cfg.TimeLimitFactor = 4
+	}
+	pc := platform.Marenostrum3()
+	if cfg.Platform != nil {
+		pc = *cfg.Platform
+	}
+	if cfg.Nodes > 0 {
+		pc.Nodes = cfg.Nodes
+	}
+	cl := platform.New(pc)
+	scfg := slurm.DefaultConfig()
+	if cfg.Policy {
+		if cfg.PreferredOnlyPolicy {
+			scfg.Policy = selectdmr.NewPreferredOnly()
+		} else {
+			scfg.Policy = selectdmr.New()
+		}
+	}
+	ctl := slurm.NewController(cl, scfg)
+	rec := &metrics.Recorder{}
+	rec.Attach(ctl)
+	return &System{Cfg: cfg, Cluster: cl, Ctl: ctl, Recorder: rec}
+}
+
+// AppConfig maps a workload spec to its application configuration,
+// applying Table I parameters and the system-wide overrides.
+func (s *System) AppConfig(spec workload.Spec) apps.Config {
+	var cfg apps.Config
+	if spec.Class == apps.ClassFS {
+		// FS scales linearly: the sequential step time is the submitted
+		// size times the per-step runtime at that size.
+		iters := apps.FSConfig(0).Iterations
+		seqStep := sim.Time(int64(spec.Runtime) / int64(iters) * int64(spec.Nodes))
+		cfg = apps.FSConfig(seqStep)
+	} else {
+		cfg = apps.ForClass(spec.Class)
+	}
+	if s.Cfg.SchedPeriod >= 0 {
+		cfg.SchedPeriod = s.Cfg.SchedPeriod
+	}
+	if s.Cfg.StepsPerCheck > 0 {
+		cfg.StepsPerCheck = s.Cfg.StepsPerCheck
+	}
+	if s.Cfg.ProblemN > 0 {
+		cfg.ProblemN = s.Cfg.ProblemN
+	}
+	if cfg.MaxProcs > s.Ctl.TotalNodes() {
+		cfg.MaxProcs = s.Ctl.TotalNodes()
+	}
+	if s.Cfg.FactorOverride > 0 {
+		cfg.Factor = s.Cfg.FactorOverride
+	}
+	cfg.RealCompute = s.Cfg.RealCompute
+	cfg.UseAsync = s.Cfg.Async
+	cfg.Malleable = spec.Flexible && s.Cfg.Policy
+	cfg.CRTransfer = s.Cfg.CRTransfer
+	return cfg
+}
+
+// Submit schedules one workload spec for submission at its arrival time.
+// The returned job handle is also tracked for result collection.
+func (s *System) Submit(spec workload.Spec) *slurm.Job {
+	cfg := s.AppConfig(spec)
+	app := apps.New(spec.Class)
+	j := &slurm.Job{
+		Name:      fmt.Sprintf("%s-%03d", spec.Class, spec.Index),
+		ReqNodes:  spec.Nodes,
+		TimeLimit: sim.Time(float64(spec.Runtime) * s.Cfg.TimeLimitFactor),
+		Flexible:  spec.Flexible,
+	}
+	if s.Cfg.MoldableSubmissions && spec.Flexible {
+		j.MinNodes = cfg.MinProcs
+		j.MaxNodes = spec.Nodes
+	}
+	rcfg := nanos.Config{
+		SchedPeriod:   cfg.SchedPeriod,
+		Async:         s.Cfg.Async,
+		ExpandTimeout: 10 * sim.Second,
+	}
+	j.Launch = func(j *slurm.Job, _ []*platform.Node) {
+		nanos.Launch(s.Ctl, j, rcfg, func(w *nanos.Worker) {
+			apps.Run(w, cfg, app)
+		})
+	}
+	s.jobs = append(s.jobs, j)
+	if spec.Arrival <= s.Cluster.K.Now() {
+		s.Ctl.Submit(j)
+	} else {
+		s.Cluster.K.At(spec.Arrival, func() { s.Ctl.Submit(j) })
+	}
+	return j
+}
+
+// SubmitAll schedules a whole workload.
+func (s *System) SubmitAll(specs []workload.Spec) {
+	for _, sp := range specs {
+		s.Submit(sp)
+	}
+}
+
+// Run drives the simulation to completion and aggregates results.
+func (s *System) Run() *metrics.WorkloadResult {
+	s.Cluster.K.Run()
+	if live := s.Cluster.K.LiveProcs(); len(live) != 0 {
+		panic(fmt.Sprintf("core: deadlocked processes after drain: %v", live))
+	}
+	return metrics.Collect(s.jobs, &s.Recorder.Trace)
+}
+
+// Jobs returns the tracked jobs in submission order.
+func (s *System) Jobs() []*slurm.Job { return s.jobs }
+
+// RunWorkload is the one-call form: build a system, submit specs, run.
+func RunWorkload(cfg Config, specs []workload.Spec) *metrics.WorkloadResult {
+	s := NewSystem(cfg)
+	s.SubmitAll(specs)
+	return s.Run()
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig3Sizes are the workload sizes of the preliminary study.
+var Fig3Sizes = []int{10, 25, 50, 100, 200, 400}
+
+// Fig3 reproduces Figure 3: fixed vs flexible FS workloads under
+// synchronous reconfiguration scheduling, for each workload size.
+func Fig3(sizes []int, seed int64) []Comparison {
+	var out []Comparison
+	for _, n := range sizes {
+		specs := workload.Generate(workload.Preliminary(n, 1, seed))
+		out = append(out, runPair(preliminaryConfig(), specs))
+	}
+	return out
+}
+
+// Fig7 reproduces Figure 7: the same comparison with asynchronous
+// selection of the action (dmr_icheck_status).
+func Fig7(sizes []int, seed int64) []Comparison {
+	var out []Comparison
+	for _, n := range sizes {
+		specs := workload.Generate(workload.Preliminary(n, 1, seed))
+		cfg := preliminaryConfig()
+		cfg.Async = true
+		out = append(out, runPair(cfg, specs))
+	}
+	return out
+}
+
+// EvolutionKind selects which evolution trace to produce.
+type EvolutionKind int
+
+// Trace kinds for the evolution figures.
+const (
+	EvoFig4  EvolutionKind = iota // 10-job preliminary, sync
+	EvoFig5                       // 25-job preliminary, sync
+	EvoFig6                       // 10-job preliminary, async
+	EvoFig12                      // 50-job realistic
+)
+
+// Evolution reproduces the time-evolution figures (4, 5, 6 and 12): it
+// runs the workload in both modes and returns the two results, whose
+// traces plot allocated nodes, running jobs and completed jobs.
+func Evolution(kind EvolutionKind, seed int64) (fixed, flexible *metrics.WorkloadResult) {
+	var cfg core.Config
+	var specs []workload.Spec
+	switch kind {
+	case EvoFig4:
+		cfg = preliminaryConfig()
+		specs = workload.Generate(workload.Preliminary(10, 1, seed))
+	case EvoFig5:
+		cfg = preliminaryConfig()
+		specs = workload.Generate(workload.Preliminary(25, 1, seed))
+	case EvoFig6:
+		cfg = preliminaryConfig()
+		cfg.Async = true
+		specs = workload.Generate(workload.Preliminary(10, 1, seed))
+	case EvoFig12:
+		cfg = realisticConfig()
+		specs = workload.Generate(workload.Realistic(50, seed))
+	}
+	pair := runPair(cfg, specs)
+	return pair.Fixed, pair.Flexible
+}
+
+// RatioResult is one bar of Figure 8.
+type RatioResult struct {
+	RatioPct int
+	Result   *metrics.WorkloadResult
+}
+
+// Fig8 reproduces Figure 8: 100-job workloads with a growing share of
+// flexible jobs (0%, 25%, 50%, 75%, 100%).
+func Fig8(jobs int, seed int64) []RatioResult {
+	var out []RatioResult
+	for _, pct := range []int{0, 25, 50, 75, 100} {
+		specs := workload.Generate(workload.Preliminary(jobs, float64(pct)/100, seed))
+		res := core.RunWorkload(preliminaryConfig(), specs)
+		out = append(out, RatioResult{RatioPct: pct, Result: res})
+	}
+	return out
+}
+
+// FormatFig8 renders the ratio sweep.
+func FormatFig8(rs []RatioResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: execution time vs rate of flexible jobs\n")
+	base := rs[0].Result.Makespan.Seconds()
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%4d%% flexible: %8.0f s (gain %+.2f%%)\n",
+			r.RatioPct, r.Result.Makespan.Seconds(), metrics.GainPct(base, r.Result.Makespan.Seconds()))
+	}
+	return b.String()
+}
+
+// Fig9Periods are the checking-inhibitor periods of Figure 9; -1 encodes
+// the fixed baseline and 0 the plain flexible run without inhibition.
+var Fig9Periods = []sim.Time{0, 2 * sim.Second, 5 * sim.Second, 10 * sim.Second, 20 * sim.Second}
+
+// Fig9Sizes are the workload sizes of Figure 9.
+var Fig9Sizes = []int{10, 25, 50, 100}
+
+// Fig9Cell is one (period, size) measurement.
+type Fig9Cell struct {
+	Period  sim.Time // 0 = plain flexible (no inhibitor)
+	Jobs    int
+	Fixed   *metrics.WorkloadResult
+	Flex    *metrics.WorkloadResult
+	GainPct float64
+}
+
+// Fig9 reproduces Figure 9: FS workloads with micro-steps (≈2 s average)
+// where every iteration hits a reconfiguring point, swept over
+// checking-inhibitor periods.
+func Fig9(sizes []int, periods []sim.Time, seed int64) []Fig9Cell {
+	var out []Fig9Cell
+	for _, n := range sizes {
+		params := workload.Preliminary(n, 1, seed)
+		// §VIII-E: reduce the time step to an average of 2 seconds.
+		params.MeanRuntime = 50 * sim.Second // 25 steps × ~2 s
+		params.MaxStepTime = 4 * sim.Second
+		specs := workload.Generate(params)
+
+		cfg := preliminaryConfig()
+		cfg.SchedPeriod = 0
+		fixed := core.RunWorkload(cfg, workload.SetFlexible(specs, false))
+		for _, period := range periods {
+			cfg := preliminaryConfig()
+			cfg.SchedPeriod = period
+			flex := core.RunWorkload(cfg, workload.SetFlexible(specs, true))
+			out = append(out, Fig9Cell{
+				Period: period, Jobs: n, Fixed: fixed, Flex: flex,
+				GainPct: metrics.GainPct(fixed.Makespan.Seconds(), flex.Makespan.Seconds()),
+			})
+		}
+	}
+	return out
+}
+
+// FormatFig9 renders the inhibitor grid with gains per workload size.
+func FormatFig9(cells []Fig9Cell) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: gain vs fixed for inhibitor periods (rows) and workload sizes (columns)\n")
+	byPeriod := map[sim.Time]map[int]Fig9Cell{}
+	var periods []sim.Time
+	var sizes []int
+	seenP := map[sim.Time]bool{}
+	seenN := map[int]bool{}
+	for _, c := range cells {
+		if byPeriod[c.Period] == nil {
+			byPeriod[c.Period] = map[int]Fig9Cell{}
+		}
+		byPeriod[c.Period][c.Jobs] = c
+		if !seenP[c.Period] {
+			seenP[c.Period] = true
+			periods = append(periods, c.Period)
+		}
+		if !seenN[c.Jobs] {
+			seenN[c.Jobs] = true
+			sizes = append(sizes, c.Jobs)
+		}
+	}
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, n := range sizes {
+		fmt.Fprintf(&b, "%8dj", n)
+	}
+	b.WriteString("\n")
+	for _, p := range periods {
+		name := "Flexible"
+		if p > 0 {
+			name = fmt.Sprintf("Sched %d", int(p.Seconds()))
+		}
+		fmt.Fprintf(&b, "%-10s", name)
+		for _, n := range sizes {
+			fmt.Fprintf(&b, "%+8.2f%%", byPeriod[p][n].GainPct)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// RealisticSizes are the workload sizes of the §IX study (Figures 10-12,
+// Table II).
+var RealisticSizes = []int{50, 100, 200, 400}
+
+// Realistic reproduces the §IX experiment behind Figures 10 and 11 and
+// Table II: workloads mixing CG, Jacobi and N-body (one third each),
+// submitted at their maximum sizes on the 65-node machine, in fixed and
+// flexible variants.
+func Realistic(sizes []int, seed int64) []Comparison {
+	var out []Comparison
+	for _, n := range sizes {
+		specs := workload.Generate(workload.Realistic(n, seed))
+		out = append(out, runPair(realisticConfig(), specs))
+	}
+	return out
+}
+
+// FormatFig10 renders workload execution times with gains (Figure 10).
+func FormatFig10(cs []Comparison) string {
+	var b strings.Builder
+	b.WriteString("Figure 10: workload execution times (gain on flexible bars)\n")
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%4d jobs: fixed %8.0f s | flexible %8.0f s | gain %.2f%%\n",
+			c.Jobs, c.Fixed.Makespan.Seconds(), c.Flexible.Makespan.Seconds(), c.MakespanGain())
+	}
+	return b.String()
+}
+
+// FormatFig11 renders average waiting times with gains (Figure 11).
+func FormatFig11(cs []Comparison) string {
+	var b strings.Builder
+	b.WriteString("Figure 11: average job waiting time (gain on flexible bars)\n")
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%4d jobs: fixed %8.0f s | flexible %8.0f s | gain %.2f%%\n",
+			c.Jobs, c.Fixed.AvgWait.Seconds(), c.Flexible.AvgWait.Seconds(), c.WaitGain())
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table II: the four aggregate measures for every
+// workload size in fixed and flexible modes.
+func FormatTable2(cs []Comparison) string {
+	var b strings.Builder
+	b.WriteString("Table II: summary of measures from all the workloads\n")
+	fmt.Fprintf(&b, "%-32s", "")
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%12dj-fix %12dj-flex", c.Jobs, c.Jobs)
+	}
+	b.WriteString("\n")
+	row := func(name string, fixed func(Comparison) string, flex func(Comparison) string) {
+		fmt.Fprintf(&b, "%-32s", name)
+		for _, c := range cs {
+			fmt.Fprintf(&b, "%17s %17s", fixed(c), flex(c))
+		}
+		b.WriteString("\n")
+	}
+	row("Avg. resource utilization rate",
+		func(c Comparison) string { return fmt.Sprintf("%.2f %%", c.Fixed.UtilRate) },
+		func(c Comparison) string { return fmt.Sprintf("%.2f %%", c.Flexible.UtilRate) })
+	row("Avg. job waiting time",
+		func(c Comparison) string { return secondsCell(c.Fixed.AvgWait) },
+		func(c Comparison) string { return secondsCell(c.Flexible.AvgWait) })
+	row("Avg. job execution time",
+		func(c Comparison) string { return secondsCell(c.Fixed.AvgExec) },
+		func(c Comparison) string { return secondsCell(c.Flexible.AvgExec) })
+	row("Avg. job completion time",
+		func(c Comparison) string { return secondsCell(c.Fixed.AvgCompletion) },
+		func(c Comparison) string { return secondsCell(c.Flexible.AvgCompletion) })
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteTraceCSV dumps a trace as CSV rows of (t_s, allocated_nodes,
+// running_jobs, completed_jobs, pending_jobs) — the raw series behind
+// the paper's evolution figures, plottable with any external tool.
+func WriteTraceCSV(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_s", "allocated_nodes", "running_jobs", "completed_jobs", "pending_jobs"}); err != nil {
+		return err
+	}
+	for _, s := range tr.Samples {
+		rec := []string{
+			fmt.Sprintf("%.3f", s.T.Seconds()),
+			fmt.Sprint(s.Alloc), fmt.Sprint(s.Running),
+			fmt.Sprint(s.Completed), fmt.Sprint(s.Pending),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteComparisonCSV dumps paired results (one row per measure) for a
+// fixed/flexible comparison.
+func WriteComparisonCSV(w io.Writer, fixed, flexible *WorkloadResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"measure", "fixed", "flexible", "gain_pct"}); err != nil {
+		return err
+	}
+	rows := []struct {
+		name        string
+		fix, flex   float64
+		gainReverse bool // execution time grows: report as negative gain
+	}{
+		{"makespan_s", fixed.Makespan.Seconds(), flexible.Makespan.Seconds(), false},
+		{"avg_wait_s", fixed.AvgWait.Seconds(), flexible.AvgWait.Seconds(), false},
+		{"avg_exec_s", fixed.AvgExec.Seconds(), flexible.AvgExec.Seconds(), false},
+		{"avg_completion_s", fixed.AvgCompletion.Seconds(), flexible.AvgCompletion.Seconds(), false},
+		{"utilization_pct", fixed.UtilRate, flexible.UtilRate, false},
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.name,
+			fmt.Sprintf("%.3f", r.fix),
+			fmt.Sprintf("%.3f", r.flex),
+			fmt.Sprintf("%.3f", GainPct(r.fix, r.flex)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		TotalNodes: 10,
+		Samples: []Sample{
+			{T: 0, Alloc: 0, Running: 0, Completed: 0},
+			{T: 10 * sim.Second, Alloc: 10, Running: 2, Completed: 0},
+			{T: 20 * sim.Second, Alloc: 5, Running: 1, Completed: 1},
+			{T: 30 * sim.Second, Alloc: 0, Running: 0, Completed: 2},
+		},
+	}
+}
+
+func TestNodeSecondsAllocated(t *testing.T) {
+	tr := sampleTrace()
+	// 0..10s: 0 nodes; 10..20s: 10 nodes; 20..30s: 5 nodes.
+	want := 10.0*10 + 5.0*10
+	if got := tr.NodeSecondsAllocated(30 * sim.Second); got != want {
+		t.Fatalf("node-seconds %v, want %v", got, want)
+	}
+}
+
+func TestNodeSecondsExtendsPastLastSample(t *testing.T) {
+	tr := sampleTrace()
+	// After the last sample the allocation stays 0.
+	if got := tr.NodeSecondsAllocated(50 * sim.Second); got != 150 {
+		t.Fatalf("node-seconds %v, want 150", got)
+	}
+}
+
+func TestUtilizationRate(t *testing.T) {
+	tr := sampleTrace()
+	// 150 node-seconds over 10 nodes × 30 s = 50%.
+	if got := tr.UtilizationRate(30 * sim.Second); got != 50 {
+		t.Fatalf("utilization %v%%, want 50%%", got)
+	}
+	if got := tr.UtilizationRate(0); got != 0 {
+		t.Fatalf("utilization at t=0 should be 0, got %v", got)
+	}
+}
+
+func TestTraceAt(t *testing.T) {
+	tr := sampleTrace()
+	if s := tr.At(15 * sim.Second); s.Alloc != 10 {
+		t.Fatalf("At(15s).Alloc = %d", s.Alloc)
+	}
+	if s := tr.At(25 * sim.Second); s.Alloc != 5 || s.Completed != 1 {
+		t.Fatalf("At(25s) = %+v", s)
+	}
+	if s := tr.At(100 * sim.Second); s.Completed != 2 {
+		t.Fatalf("At(end) = %+v", s)
+	}
+}
+
+func TestGainPct(t *testing.T) {
+	if g := GainPct(100, 60); g != 40 {
+		t.Fatalf("GainPct(100,60) = %v", g)
+	}
+	if g := GainPct(100, 110); g != -10 {
+		t.Fatalf("GainPct(100,110) = %v", g)
+	}
+	if g := GainPct(0, 10); g != 0 {
+		t.Fatalf("GainPct(0,10) = %v", g)
+	}
+}
+
+func TestCollectAggregates(t *testing.T) {
+	jobs := []*slurm.Job{
+		{State: slurm.StateCompleted, SubmitTime: 0, StartTime: 10 * sim.Second, EndTime: 40 * sim.Second, ResizeCount: 2},
+		{State: slurm.StateCompleted, SubmitTime: 5 * sim.Second, StartTime: 15 * sim.Second, EndTime: 25 * sim.Second},
+	}
+	res := Collect(jobs, sampleTrace())
+	if res.Jobs != 2 {
+		t.Fatalf("jobs %d", res.Jobs)
+	}
+	if res.Makespan != 40*sim.Second {
+		t.Fatalf("makespan %v", res.Makespan)
+	}
+	if res.AvgWait != 10*sim.Second {
+		t.Fatalf("avg wait %v", res.AvgWait)
+	}
+	if res.AvgExec != 20*sim.Second {
+		t.Fatalf("avg exec %v", res.AvgExec)
+	}
+	if res.AvgCompletion != 30*sim.Second {
+		t.Fatalf("avg completion %v", res.AvgCompletion)
+	}
+	if res.Resizes != 2 {
+		t.Fatalf("resizes %d", res.Resizes)
+	}
+}
+
+func TestCollectPanicsOnIncompleteJob(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a running job")
+		}
+	}()
+	Collect([]*slurm.Job{{State: slurm.StateRunning}}, nil)
+}
+
+func TestRecorderAttach(t *testing.T) {
+	pc := platform.Marenostrum3()
+	pc.Nodes = 4
+	cl := platform.New(pc)
+	ctl := slurm.NewController(cl, slurm.DefaultConfig())
+	rec := &Recorder{}
+	rec.Attach(ctl)
+	j := &slurm.Job{Name: "j", ReqNodes: 2, TimeLimit: 10 * sim.Second}
+	j.Launch = func(j *slurm.Job, _ []*platform.Node) {
+		cl.K.Spawn("j", func(p *sim.Proc) {
+			p.Sleep(5 * sim.Second)
+			ctl.JobComplete(j)
+		})
+	}
+	ctl.Submit(j)
+	cl.K.Run()
+	if rec.Trace.TotalNodes != 4 {
+		t.Fatalf("total nodes %d", rec.Trace.TotalNodes)
+	}
+	if len(rec.Trace.Samples) < 2 {
+		t.Fatalf("samples %d", len(rec.Trace.Samples))
+	}
+	last := rec.Trace.Samples[len(rec.Trace.Samples)-1]
+	if last.Completed != 1 || last.Alloc != 0 {
+		t.Fatalf("final sample %+v", last)
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteTraceCSV(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 samples
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[2] != "10.000,10,2,0,0" {
+		t.Fatalf("row %q", lines[2])
+	}
+}
+
+func TestWriteComparisonCSV(t *testing.T) {
+	fixed := &WorkloadResult{Makespan: 100 * sim.Second, AvgWait: 50 * sim.Second, UtilRate: 98}
+	flex := &WorkloadResult{Makespan: 60 * sim.Second, AvgWait: 20 * sim.Second, UtilRate: 70}
+	var buf strings.Builder
+	if err := WriteComparisonCSV(&buf, fixed, flex); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "makespan_s,100.000,60.000,40.000") {
+		t.Fatalf("csv:\n%s", out)
+	}
+}
+
+func TestAsciiChartRenders(t *testing.T) {
+	tr := sampleTrace()
+	out := AsciiChart("alloc", tr, func(s Sample) int { return s.Alloc }, 10, 30, 30*sim.Second)
+	if !strings.Contains(out, "#") {
+		t.Fatal("chart has no bars")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // title + 8 rows + axis
+		t.Fatalf("chart has %d lines", len(lines))
+	}
+	// The middle third (full allocation) must reach the top row.
+	if !strings.Contains(lines[1], "#") {
+		t.Fatal("full allocation does not reach the chart top")
+	}
+}

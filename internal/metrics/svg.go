@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// SVG chart rendering: regenerates the paper's figures as standalone
+// vector images using only the standard library. Two chart kinds cover
+// the evaluation: step-area time series (the evolution plots of
+// Figures 4-6 and 12) and grouped bar charts (Figures 1, 3, 7, 8,
+// 10, 11).
+
+const (
+	svgW, svgH         = 760, 360
+	svgMargL, svgMargR = 70, 20
+	svgMargT, svgMargB = 40, 50
+)
+
+func svgHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", svgW, svgH, svgW, svgH)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(w, `<text x="%d" y="24" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n", svgMargL, svgEscape(title))
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// axes draws the plot frame with y gridlines and labels.
+func svgAxes(w io.Writer, xLabel, yLabel string, yMax float64, yTicks int) {
+	plotH := svgH - svgMargT - svgMargB
+	plotW := svgW - svgMargL - svgMargR
+	fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="black"/>`+"\n",
+		svgMargL, svgMargT, plotW, plotH)
+	for i := 0; i <= yTicks; i++ {
+		v := yMax * float64(i) / float64(yTicks)
+		y := float64(svgMargT+plotH) - float64(plotH)*float64(i)/float64(yTicks)
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			svgMargL, y, svgW-svgMargR, y)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%.0f</text>`+"\n",
+			svgMargL-6, y+4, v)
+	}
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		svgMargL+plotW/2, svgH-12, svgEscape(xLabel))
+	fmt.Fprintf(w, `<text x="16" y="%d" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		svgMargT+plotH/2, svgMargT+plotH/2, svgEscape(yLabel))
+}
+
+// Series is one labeled time series for an evolution chart.
+type Series struct {
+	Name  string
+	Color string
+	Trace *Trace
+	Value func(Sample) int
+}
+
+// WriteEvolutionSVG renders step-area series over [0, end] — the shape
+// of the paper's evolution figures.
+func WriteEvolutionSVG(w io.Writer, title, yLabel string, yMax int, end sim.Time, series []Series) error {
+	plotH := svgH - svgMargT - svgMargB
+	plotW := svgW - svgMargL - svgMargR
+	svgHeader(w, title)
+	svgAxes(w, "time (s)", yLabel, float64(yMax), 5)
+	xOf := func(t sim.Time) float64 {
+		return float64(svgMargL) + float64(plotW)*float64(t)/float64(end)
+	}
+	yOf := func(v int) float64 {
+		f := float64(v) / float64(yMax)
+		if f > 1 {
+			f = 1
+		}
+		return float64(svgMargT+plotH) - float64(plotH)*f
+	}
+	for si, s := range series {
+		var pts strings.Builder
+		fmt.Fprintf(&pts, "%.1f,%.1f", xOf(0), yOf(0))
+		last := 0
+		for _, smp := range s.Trace.Samples {
+			if smp.T > end {
+				break
+			}
+			v := s.Value(smp)
+			fmt.Fprintf(&pts, " %.1f,%.1f %.1f,%.1f", xOf(smp.T), yOf(last), xOf(smp.T), yOf(v))
+			last = v
+		}
+		fmt.Fprintf(&pts, " %.1f,%.1f", xOf(end), yOf(last))
+		fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n", pts.String(), s.Color)
+		// Legend.
+		lx, ly := svgMargL+10, svgMargT+16+18*si
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n", lx, ly, lx+22, ly, s.Color)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n", lx+28, ly+4, svgEscape(s.Name))
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}
+
+// BarGroup is one x-axis category with one value per series.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// WriteBarsSVG renders a grouped bar chart — the shape of the paper's
+// comparison figures. seriesNames and colors index BarGroup.Values.
+func WriteBarsSVG(w io.Writer, title, yLabel string, seriesNames []string, colors []string, groups []BarGroup) error {
+	plotH := svgH - svgMargT - svgMargB
+	plotW := svgW - svgMargL - svgMargR
+	yMax := 0.0
+	for _, g := range groups {
+		for _, v := range g.Values {
+			if v > yMax {
+				yMax = v
+			}
+		}
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	yMax *= 1.08
+	svgHeader(w, title)
+	svgAxes(w, "", yLabel, yMax, 5)
+	gw := float64(plotW) / float64(len(groups))
+	bw := gw * 0.7 / float64(len(seriesNames))
+	for gi, g := range groups {
+		gx := float64(svgMargL) + gw*float64(gi) + gw*0.15
+		for si, v := range g.Values {
+			h := float64(plotH) * v / yMax
+			x := gx + bw*float64(si)
+			y := float64(svgMargT+plotH) - h
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, bw-2, h, colors[si%len(colors)])
+		}
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			gx+gw*0.35, svgMargT+plotH+18, svgEscape(g.Label))
+	}
+	for si, name := range seriesNames {
+		lx, ly := svgMargL+10+130*si, svgMargT+14
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="14" height="10" fill="%s"/>`+"\n", lx, ly, colors[si%len(colors)])
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n", lx+18, ly+9, svgEscape(name))
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWriteEvolutionSVG(t *testing.T) {
+	tr := sampleTrace()
+	var buf strings.Builder
+	err := WriteEvolutionSVG(&buf, "Test evolution", "allocated nodes", 10, 30*sim.Second, []Series{
+		{Name: "fixed", Color: "#1f77b4", Trace: tr, Value: func(s Sample) int { return s.Alloc }},
+		{Name: "flexible", Color: "#d62728", Trace: tr, Value: func(s Sample) int { return s.Running }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "fixed", "flexible", "Test evolution"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "polyline") != 2 {
+		t.Fatalf("want 2 series polylines, got %d", strings.Count(out, "polyline"))
+	}
+}
+
+func TestWriteBarsSVG(t *testing.T) {
+	var buf strings.Builder
+	err := WriteBarsSVG(&buf, "Gains", "execution time (s)",
+		[]string{"fixed", "flexible"}, []string{"#1f77b4", "#d62728"},
+		[]BarGroup{
+			{Label: "50", Values: []float64{11598, 5289}},
+			{Label: "100", Values: []float64{21953, 9782}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<rect") < 5 { // frame + background + 4 bars
+		t.Fatalf("too few rects:\n%s", out)
+	}
+	if !strings.Contains(out, ">50<") || !strings.Contains(out, ">100<") {
+		t.Fatal("group labels missing")
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	var buf strings.Builder
+	err := WriteBarsSVG(&buf, `a<b&"c"`, "y", []string{"s"}, []string{"#000"},
+		[]BarGroup{{Label: "<g>", Values: []float64{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `a<b&"c"`) {
+		t.Fatal("unescaped markup in SVG text")
+	}
+	if !strings.Contains(out, "a&lt;b&amp;") {
+		t.Fatal("escape missing")
+	}
+}
+
+func TestEvolutionSVGClampsOverflow(t *testing.T) {
+	tr := &Trace{TotalNodes: 4, Samples: []Sample{{T: 0, Alloc: 99}}}
+	var buf strings.Builder
+	err := WriteEvolutionSVG(&buf, "clamp", "y", 4, 10*sim.Second, []Series{
+		{Name: "s", Color: "#000", Trace: tr, Value: func(s Sample) int { return s.Alloc }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clamped polyline must not go above the plot top (y >= margin).
+	if strings.Contains(buf.String(), "-") && strings.Contains(buf.String(), `points="-`) {
+		t.Fatal("negative coordinates leaked")
+	}
+}

@@ -1,0 +1,75 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// mergeState tracks an in-progress IntercommMerge across the two groups
+// of an intercommunicator. It lives on the canonical (lower-id) comm.
+type mergeState struct {
+	expected int
+	arrived  int
+	lowFirst map[int]bool // comm id -> that group goes first
+	ranks    map[*Rank]bool
+	done     *sim.Signal
+	merged   *Comm
+}
+
+// IntercommMerge fuses the two groups of an intercommunicator into one
+// intra-communicator, mirroring MPI_Intercomm_merge: the group passing
+// high=false occupies the low ranks, the group passing high=true
+// follows. Collective over both groups; every caller receives a new
+// Rank handle bound to its existing process.
+func (r *Rank) IntercommMerge(ic *Intercomm, high bool) *Rank {
+	if ic.local != r.comm {
+		panic("mpi: IntercommMerge: intercomm's local group is not this rank's communicator")
+	}
+	canon, other := ic.local, ic.remote
+	if other.id < canon.id {
+		canon, other = other, canon
+	}
+	if canon.mergeSt == nil {
+		canon.mergeSt = &mergeState{
+			expected: ic.local.Size() + ic.remote.Size(),
+			lowFirst: make(map[int]bool, 2),
+			ranks:    make(map[*Rank]bool),
+			done:     sim.NewSignal(r.comm.cluster.K),
+		}
+	}
+	st := canon.mergeSt
+	if prev, ok := st.lowFirst[r.comm.id]; ok {
+		if prev != !high {
+			panic(fmt.Sprintf("mpi: IntercommMerge: group %d passed inconsistent high flags", r.comm.id))
+		}
+	} else {
+		st.lowFirst[r.comm.id] = !high
+	}
+	st.ranks[r] = true
+	st.arrived++
+	if st.arrived == st.expected {
+		if st.lowFirst[ic.local.id] == st.lowFirst[ic.remote.id] {
+			panic("mpi: IntercommMerge: both groups passed the same high flag")
+		}
+		low, highC := ic.local, ic.remote
+		if !st.lowFirst[low.id] {
+			low, highC = highC, low
+		}
+		merged := NewWorld(r.comm.cluster, append(low.Nodes(), highC.Nodes()...))
+		st.merged = merged
+		canon.mergeSt = nil
+		cost := r.comm.cluster.Net().Latency * sim.Time(ceilLog2(st.expected))
+		r.comm.cluster.K.After(cost, st.done.Fire)
+	}
+	st.done.Wait(r.proc)
+	// Compute this rank's position in the merged ordering.
+	base := 0
+	if !st.lowFirst[r.comm.id] {
+		// My group is the high one: offset by the other group's size.
+		base = st.merged.Size() - r.comm.Size()
+	}
+	nr := &Rank{comm: st.merged, rank: base + r.rank, proc: r.proc}
+	st.merged.procs = append(st.merged.procs, r.proc)
+	return nr
+}

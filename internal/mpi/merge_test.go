@@ -1,0 +1,156 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestIntercommMergeOrdersGroups(t *testing.T) {
+	c := testCluster(5)
+	parent := NewWorld(c, c.Nodes[:2])
+	mergedRanks := make(map[string]int)
+	var mergedSize int
+	parent.Start("parent", func(r *Rank) {
+		var ic *Intercomm
+		if r.Rank() == 0 {
+			ic = r.CommSpawn("child", c.Nodes[2:5], func(cr *Rank) {
+				pc := cr.Comm().Parent()
+				nr := cr.IntercommMerge(pc, true) // children go high
+				mergedRanks[cr.Proc().Name()] = nr.Rank()
+			})
+		}
+		ic2 := r.Bcast(0, ic, 8).(*Intercomm)
+		nr := r.IntercommMerge(ic2, false) // parents go low
+		mergedRanks[r.Proc().Name()] = nr.Rank()
+		mergedSize = nr.Size()
+	})
+	c.K.Run()
+	if mergedSize != 5 {
+		t.Fatalf("merged size %d, want 5", mergedSize)
+	}
+	want := map[string]int{
+		"parent/r0": 0, "parent/r1": 1,
+		"child/r0": 2, "child/r1": 3, "child/r2": 4,
+	}
+	for name, wantRank := range want {
+		if mergedRanks[name] != wantRank {
+			t.Fatalf("%s merged to rank %d, want %d (got map %v)", name, mergedRanks[name], wantRank, mergedRanks)
+		}
+	}
+}
+
+func TestMergedCommCollectiveWorks(t *testing.T) {
+	c := testCluster(4)
+	parent := NewWorld(c, c.Nodes[:2])
+	var sum float64
+	parent.Start("parent", func(r *Rank) {
+		var ic *Intercomm
+		if r.Rank() == 0 {
+			ic = r.CommSpawn("child", c.Nodes[2:4], func(cr *Rank) {
+				nr := cr.IntercommMerge(cr.Comm().Parent(), true)
+				nr.AllreduceScalar(OpSum, float64(nr.Rank()))
+			})
+		}
+		ic = r.Bcast(0, ic, 8).(*Intercomm)
+		nr := r.IntercommMerge(ic, false)
+		s := nr.AllreduceScalar(OpSum, float64(nr.Rank()))
+		if r.Rank() == 0 {
+			sum = s
+		}
+	})
+	c.K.Run()
+	if math.Abs(sum-6) > 1e-12 { // 0+1+2+3
+		t.Fatalf("allreduce over merged comm = %v, want 6", sum)
+	}
+}
+
+func TestMergedCommP2P(t *testing.T) {
+	c := testCluster(4)
+	parent := NewWorld(c, c.Nodes[:2])
+	var echoed float64
+	parent.Start("parent", func(r *Rank) {
+		var ic *Intercomm
+		if r.Rank() == 0 {
+			ic = r.CommSpawn("child", c.Nodes[2:4], func(cr *Rank) {
+				nr := cr.IntercommMerge(cr.Comm().Parent(), true)
+				if nr.Rank() == 3 {
+					m := nr.Recv(0, 5)
+					nr.Send(0, 6, m.Data.(float64)*2, 8)
+				}
+			})
+		}
+		ic = r.Bcast(0, ic, 8).(*Intercomm)
+		nr := r.IntercommMerge(ic, false)
+		if nr.Rank() == 0 {
+			nr.Send(3, 5, 21.0, 8)
+			echoed = nr.Recv(3, 6).Data.(float64)
+		}
+	})
+	c.K.Run()
+	if echoed != 42 {
+		t.Fatalf("p2p across merged comm echoed %v", echoed)
+	}
+}
+
+func TestSendrecvExchanges(t *testing.T) {
+	c := testCluster(2)
+	w := NewWorld(c, c.Nodes[:2])
+	got := make([]float64, 2)
+	w.Start("job", func(r *Rank) {
+		peer := 1 - r.Rank()
+		m := r.Sendrecv(peer, 0, float64(r.Rank()+10), 8, peer, 0)
+		got[r.Rank()] = m.Data.(float64)
+	})
+	c.K.Run()
+	if got[0] != 11 || got[1] != 10 {
+		t.Fatalf("sendrecv exchanged %v", got)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	c := testCluster(4)
+	w := NewWorld(c, c.Nodes[:4])
+	var sums [4]float64
+	w.Start("job", func(r *Rank) {
+		p := r.Size()
+		val := float64(r.Rank() + 1)
+		acc := val
+		for step := 0; step < p-1; step++ {
+			next := (r.Rank() + 1) % p
+			prev := (r.Rank() - 1 + p) % p
+			m := r.Sendrecv(next, step, val, 8, prev, step)
+			val = m.Data.(float64)
+			acc += val
+		}
+		sums[r.Rank()] = acc
+	})
+	c.K.Run()
+	for i, s := range sums {
+		if s != 10 { // 1+2+3+4
+			t.Fatalf("rank %d ring sum %v, want 10", i, s)
+		}
+	}
+	if c.K.LiveProcs(); len(c.K.LiveProcs()) != 0 {
+		t.Fatal("ring deadlocked")
+	}
+}
+
+func TestMergeChargesLatency(t *testing.T) {
+	c := testCluster(3)
+	parent := NewWorld(c, c.Nodes[:1])
+	var mergedAt sim.Time
+	parent.Start("parent", func(r *Rank) {
+		ic := r.CommSpawn("child", c.Nodes[1:3], func(cr *Rank) {
+			cr.IntercommMerge(cr.Comm().Parent(), true)
+		})
+		nr := r.IntercommMerge(ic, false)
+		_ = nr
+		mergedAt = r.Now()
+	})
+	c.K.Run()
+	if mergedAt == 0 {
+		t.Fatal("merge completed instantaneously")
+	}
+}

@@ -1,0 +1,540 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// testCluster builds a small cluster with simple round numbers so timing
+// assertions are easy to reason about.
+func testCluster(nodes int) *platform.Cluster {
+	cfg := platform.Config{
+		Nodes:        nodes,
+		CoresPerNode: 16,
+		Net:          platform.NetModel{Latency: sim.Millisecond, BytesPerSec: 1e9},
+		SpawnBase:    10 * sim.Millisecond,
+		SpawnPerProc: 5 * sim.Millisecond,
+	}
+	return platform.New(cfg)
+}
+
+func TestSendRecvDeliversData(t *testing.T) {
+	c := testCluster(2)
+	w := NewWorld(c, c.Nodes[:2])
+	var got []float64
+	w.Start("job", func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 7, []float64{1, 2, 3}, 24)
+		} else {
+			m := r.Recv(0, 7)
+			got = m.Data.([]float64)
+			if m.Src != 0 || m.Tag != 7 || m.Bytes != 24 {
+				t.Errorf("msg meta = src %d tag %d bytes %d", m.Src, m.Tag, m.Bytes)
+			}
+		}
+	})
+	c.K.Run()
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("received %v", got)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	c := testCluster(2)
+	w := NewWorld(c, c.Nodes[:2])
+	src := []float64{1, 2, 3}
+	var got []float64
+	w.Start("job", func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, src, 24)
+			src[0] = 99 // mutate after send; receiver must not see it
+		} else {
+			got = r.Recv(0, 0).Data.([]float64)
+		}
+	})
+	c.K.Run()
+	if got[0] != 1 {
+		t.Fatalf("receiver saw sender's mutation: %v", got)
+	}
+}
+
+func TestRecvBeforeSendBlocks(t *testing.T) {
+	c := testCluster(2)
+	w := NewWorld(c, c.Nodes[:2])
+	var recvAt sim.Time
+	w.Start("job", func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Recv(0, 0)
+			recvAt = r.Now()
+		} else {
+			r.Proc().Sleep(5 * sim.Second)
+			r.Send(1, 0, nil, 0)
+		}
+	})
+	c.K.Run()
+	// 5s sleep + 1ms latency for the zero-byte message.
+	if recvAt != 5*sim.Second+sim.Millisecond {
+		t.Fatalf("recv completed at %v", recvAt)
+	}
+}
+
+func TestTransferTimeMatchesModel(t *testing.T) {
+	c := testCluster(2)
+	w := NewWorld(c, c.Nodes[:2])
+	var done sim.Time
+	const bytes = 1 << 30 // 1 GiB at 1 GB/s ≈ 1.0737s + 1ms
+	w.Start("job", func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, nil, bytes)
+		} else {
+			r.Recv(0, 0)
+			done = r.Now()
+		}
+	})
+	c.K.Run()
+	want := sim.Millisecond + sim.Seconds(float64(bytes)/1e9)
+	if done != want {
+		t.Fatalf("1GiB transfer finished at %v, want %v", done, want)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	c := testCluster(3)
+	w := NewWorld(c, c.Nodes[:3])
+	var order []string
+	w.Start("job", func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(2, 5, "fromzero", 8)
+		case 1:
+			r.Proc().Sleep(sim.Second)
+			r.Send(2, 9, "fromone", 8)
+		case 2:
+			// Explicitly receive the tag-9 message first even though
+			// tag-5 arrives earlier.
+			m := r.Recv(1, 9)
+			order = append(order, m.Data.(string))
+			m = r.Recv(AnySource, AnyTag)
+			order = append(order, m.Data.(string))
+		}
+	})
+	c.K.Run()
+	if fmt.Sprint(order) != "[fromone fromzero]" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestWildcardFIFOByArrival(t *testing.T) {
+	c := testCluster(3)
+	w := NewWorld(c, c.Nodes[:3])
+	var order []string
+	w.Start("job", func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(2, 1, "a", 8)
+		case 1:
+			r.Proc().Sleep(sim.Second)
+			r.Send(2, 2, "b", 8)
+		case 2:
+			for i := 0; i < 2; i++ {
+				order = append(order, r.Recv(AnySource, AnyTag).Data.(string))
+			}
+		}
+	})
+	c.K.Run()
+	if fmt.Sprint(order) != "[a b]" {
+		t.Fatalf("order %v, want arrival order", order)
+	}
+}
+
+func TestIsendWaitallOverlap(t *testing.T) {
+	c := testCluster(2)
+	w := NewWorld(c, c.Nodes[:2])
+	var sendDone sim.Time
+	w.Start("job", func(r *Rank) {
+		if r.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < 4; i++ {
+				reqs = append(reqs, r.Isend(1, i, nil, 1e9)) // ~1s each
+			}
+			r.Waitall(reqs)
+			sendDone = r.Now()
+		} else {
+			for i := 0; i < 4; i++ {
+				r.Recv(0, i)
+			}
+		}
+	})
+	c.K.Run()
+	// Isends overlap in this model: all complete ~1s + latency in.
+	want := sim.Millisecond + sim.Second
+	if sendDone != want {
+		t.Fatalf("overlapped isends finished at %v, want %v", sendDone, want)
+	}
+}
+
+func TestIrecvPostedBeforeArrival(t *testing.T) {
+	c := testCluster(2)
+	w := NewWorld(c, c.Nodes[:2])
+	var got string
+	w.Start("job", func(r *Rank) {
+		if r.Rank() == 1 {
+			req := r.Irecv(0, 3)
+			r.Proc().Sleep(10 * sim.Second) // message arrives meanwhile
+			got = r.Wait(req).Data.(string)
+		} else {
+			r.Proc().Sleep(sim.Second)
+			r.Send(1, 3, "hello", 8)
+		}
+	})
+	c.K.Run()
+	if got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	c := testCluster(4)
+	w := NewWorld(c, c.Nodes[:4])
+	var after []sim.Time
+	w.Start("job", func(r *Rank) {
+		r.Proc().Sleep(sim.Time(r.Rank()) * sim.Second)
+		r.Barrier()
+		after = append(after, r.Now())
+	})
+	c.K.Run()
+	for _, tm := range after {
+		if tm < 3*sim.Second {
+			t.Fatalf("a rank left the barrier at %v, before the slowest arrived", tm)
+		}
+	}
+}
+
+func TestBcastDeliversRootValue(t *testing.T) {
+	c := testCluster(4)
+	w := NewWorld(c, c.Nodes[:4])
+	got := make([][]float64, 4)
+	w.Start("job", func(r *Rank) {
+		var data []float64
+		if r.Rank() == 2 {
+			data = []float64{3.14, 2.71}
+		}
+		res := r.Bcast(2, data, 16).([]float64)
+		got[r.Rank()] = res
+		res[0] = float64(r.Rank()) // mutations must stay private
+	})
+	c.K.Run()
+	for i, v := range got {
+		if len(v) != 2 || v[1] != 2.71 {
+			t.Fatalf("rank %d got %v", i, v)
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	c := testCluster(4)
+	w := NewWorld(c, c.Nodes[:4])
+	var results [][]float64
+	w.Start("job", func(r *Rank) {
+		v := []float64{float64(r.Rank()), 1}
+		results = append(results, r.Allreduce(OpSum, v))
+	})
+	c.K.Run()
+	for _, res := range results {
+		if res[0] != 6 || res[1] != 4 {
+			t.Fatalf("allreduce sum = %v, want [6 4]", res)
+		}
+	}
+}
+
+func TestAllreduceMaxMinScalar(t *testing.T) {
+	c := testCluster(3)
+	w := NewWorld(c, c.Nodes[:3])
+	var maxes, mins []float64
+	w.Start("job", func(r *Rank) {
+		maxes = append(maxes, r.AllreduceScalar(OpMax, float64(r.Rank())))
+		mins = append(mins, r.AllreduceScalar(OpMin, float64(r.Rank())))
+	})
+	c.K.Run()
+	for i := range maxes {
+		if maxes[i] != 2 || mins[i] != 0 {
+			t.Fatalf("max/min = %v/%v", maxes[i], mins[i])
+		}
+	}
+}
+
+func TestAllgatherFloatsOrder(t *testing.T) {
+	c := testCluster(3)
+	w := NewWorld(c, c.Nodes[:3])
+	var results [][]float64
+	w.Start("job", func(r *Rank) {
+		results = append(results, r.AllgatherFloats([]float64{float64(r.Rank()) * 10, float64(r.Rank())*10 + 1}))
+	})
+	c.K.Run()
+	for _, res := range results {
+		if fmt.Sprint(res) != "[0 1 10 11 20 21]" {
+			t.Fatalf("allgather = %v", res)
+		}
+	}
+}
+
+func TestAllgatherSnapshotsContributionsAtArrival(t *testing.T) {
+	// Regression: a rank that resumes first and immediately mutates its
+	// contribution must not corrupt what slower ranks read (clone must
+	// happen at the rendezvous arrival, not at resume).
+	c := testCluster(3)
+	w := NewWorld(c, c.Nodes[:3])
+	results := make([][]float64, 3)
+	w.Start("job", func(r *Rank) {
+		mine := []float64{float64(r.Rank())}
+		for iter := 0; iter < 3; iter++ {
+			res := r.AllgatherFloats(mine)
+			results[r.Rank()] = res
+			mine[0] += 100 // mutate right after the collective
+		}
+	})
+	c.K.Run()
+	for rank, res := range results {
+		want := []float64{200, 201, 202}
+		if fmt.Sprint(res) != fmt.Sprint(want) {
+			t.Fatalf("rank %d saw %v at final iteration, want %v", rank, res, want)
+		}
+	}
+}
+
+func TestGatherOnlyRootReceives(t *testing.T) {
+	c := testCluster(3)
+	w := NewWorld(c, c.Nodes[:3])
+	var rootGot []any
+	nonRootNil := true
+	w.Start("job", func(r *Rank) {
+		res := r.Gather(1, r.Rank()*100, 8)
+		if r.Rank() == 1 {
+			rootGot = res
+		} else if res != nil {
+			nonRootNil = false
+		}
+	})
+	c.K.Run()
+	if !nonRootNil {
+		t.Fatal("non-root rank received gather data")
+	}
+	if len(rootGot) != 3 || rootGot[2].(int) != 200 {
+		t.Fatalf("root gathered %v", rootGot)
+	}
+}
+
+func TestScatterDistributesParts(t *testing.T) {
+	c := testCluster(3)
+	w := NewWorld(c, c.Nodes[:3])
+	got := make([][]float64, 3)
+	w.Start("job", func(r *Rank) {
+		var parts []any
+		if r.Rank() == 0 {
+			parts = []any{[]float64{1}, []float64{2}, []float64{3}}
+		}
+		got[r.Rank()] = r.Scatter(0, parts, 8).([]float64)
+	})
+	c.K.Run()
+	for i := range got {
+		if got[i][0] != float64(i+1) {
+			t.Fatalf("rank %d got %v", i, got[i])
+		}
+	}
+}
+
+func TestCommSpawnParentChildTraffic(t *testing.T) {
+	c := testCluster(4)
+	parent := NewWorld(c, c.Nodes[:2])
+	var childSum float64
+	var parentEcho float64
+	parent.Start("parent", func(r *Rank) {
+		if r.Rank() == 0 {
+			ic := r.CommSpawn("child", c.Nodes[2:4], func(cr *Rank) {
+				pc := cr.Comm().Parent()
+				if pc == nil {
+					t.Error("child sees nil parent intercomm")
+					return
+				}
+				m := cr.RecvRemote(pc, 0, 1)
+				v := m.Data.(float64)
+				childSum += v
+				if cr.Rank() == 0 {
+					cr.SendRemote(pc, 0, 2, v*2, 8)
+				}
+			})
+			if ic.RemoteSize() != 2 {
+				t.Errorf("remote size %d", ic.RemoteSize())
+			}
+			r.SendRemote(ic, 0, 1, 10.0, 8)
+			r.SendRemote(ic, 1, 1, 20.0, 8)
+			parentEcho = r.RecvRemote(ic, 0, 2).Data.(float64)
+		}
+	})
+	c.K.Run()
+	if childSum != 30 {
+		t.Fatalf("children received %v, want 30", childSum)
+	}
+	if parentEcho != 20 {
+		t.Fatalf("parent echo %v, want 20", parentEcho)
+	}
+}
+
+func TestCommSpawnChargesOverhead(t *testing.T) {
+	c := testCluster(4)
+	parent := NewWorld(c, c.Nodes[:1])
+	var spawnedAt sim.Time
+	parent.Start("parent", func(r *Rank) {
+		r.CommSpawn("child", c.Nodes[1:4], func(cr *Rank) {})
+		spawnedAt = r.Now()
+	})
+	c.K.Run()
+	want := 10*sim.Millisecond + 3*5*sim.Millisecond
+	if spawnedAt != want {
+		t.Fatalf("spawn returned at %v, want %v", spawnedAt, want)
+	}
+}
+
+func TestAbortKillsRanks(t *testing.T) {
+	c := testCluster(3)
+	w := NewWorld(c, c.Nodes[:3])
+	finished := 0
+	ranks := w.Start("job", func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Proc().Sleep(sim.Second)
+			for i, p := range w.Procs() {
+				if i != 0 {
+					p.Kill()
+				}
+			}
+			return
+		}
+		r.Recv(AnySource, AnyTag) // would block forever
+		finished++
+	})
+	c.K.Run()
+	if finished != 0 {
+		t.Fatal("killed ranks kept running")
+	}
+	for i, rk := range ranks {
+		if !rk.Proc().Done() {
+			t.Fatalf("rank %d still live", i)
+		}
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	// MPI allows self-messaging: the send buffers and the receive
+	// matches from the own inbox — no deadlock.
+	c := testCluster(1)
+	w := NewWorld(c, c.Nodes[:1])
+	var got float64
+	w.Start("job", func(r *Rank) {
+		r.Send(0, 3, 13.5, 8)
+		got = r.Recv(0, 3).Data.(float64)
+	})
+	c.K.Run()
+	if got != 13.5 {
+		t.Fatalf("self message %v", got)
+	}
+}
+
+func TestManyOutstandingIrecvsMatchInOrder(t *testing.T) {
+	c := testCluster(2)
+	w := NewWorld(c, c.Nodes[:2])
+	var got []int
+	w.Start("job", func(r *Rank) {
+		if r.Rank() == 1 {
+			var reqs []*Request
+			for i := 0; i < 5; i++ {
+				reqs = append(reqs, r.Irecv(0, AnyTag))
+			}
+			for _, m := range r.Waitall(reqs) {
+				got = append(got, m.Tag)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				r.Send(1, i, nil, 8)
+			}
+		}
+	})
+	c.K.Run()
+	if fmt.Sprint(got) != "[0 1 2 3 4]" {
+		t.Fatalf("posted receives matched out of order: %v", got)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 64: 6, 65: 7}
+	for p, want := range cases {
+		if got := ceilLog2(p); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestCollectiveMismatchPanics(t *testing.T) {
+	c := testCluster(2)
+	w := NewWorld(c, c.Nodes[:2])
+	w.Start("job", func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Barrier()
+		} else {
+			r.AllreduceScalar(OpSum, 1)
+		}
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched collectives should panic")
+		}
+	}()
+	c.K.Run()
+}
+
+func TestPingPongLatency(t *testing.T) {
+	c := testCluster(2)
+	w := NewWorld(c, c.Nodes[:2])
+	const rounds = 10
+	var elapsed sim.Time
+	w.Start("job", func(r *Rank) {
+		peer := 1 - r.Rank()
+		for i := 0; i < rounds; i++ {
+			if r.Rank() == 0 {
+				r.Send(peer, i, nil, 0)
+				r.Recv(peer, i)
+			} else {
+				r.Recv(peer, i)
+				r.Send(peer, i, nil, 0)
+			}
+		}
+		if r.Rank() == 0 {
+			elapsed = r.Now()
+		}
+	})
+	c.K.Run()
+	want := sim.Time(2*rounds) * sim.Millisecond
+	if elapsed != want {
+		t.Fatalf("ping-pong took %v, want %v", elapsed, want)
+	}
+}
+
+func TestLargeCommAllreduceValue(t *testing.T) {
+	c := testCluster(32)
+	w := NewWorld(c, c.Nodes)
+	var got float64
+	w.Start("job", func(r *Rank) {
+		s := r.AllreduceScalar(OpSum, float64(r.Rank()))
+		if r.Rank() == 0 {
+			got = s
+		}
+	})
+	c.K.Run()
+	want := float64(31 * 32 / 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum over 32 ranks = %v, want %v", got, want)
+	}
+}

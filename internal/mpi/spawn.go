@@ -1,0 +1,28 @@
+package mpi
+
+import (
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// CommSpawn creates len(nodes) new processes running main, bound to the
+// given nodes, and returns the intercommunicator connecting the calling
+// communicator (local group) to the spawned one (remote group). The call
+// charges the modeled spawn overhead (base + per-process) to the caller,
+// mirroring MPI_Comm_spawn through the process-manager daemons.
+//
+// The children observe the spawning group through Comm.Parent, matching
+// MPI_Comm_get_parent in the paper's Listing 1.
+func (r *Rank) CommSpawn(name string, nodes []*platform.Node, main func(child *Rank)) *Intercomm {
+	c := r.comm.cluster
+	n := len(nodes)
+	if n == 0 {
+		panic("mpi: CommSpawn with empty node list")
+	}
+	r.proc.Sleep(c.Cfg.SpawnBase + c.Cfg.SpawnPerProc*sim.Time(n))
+	child := NewWorld(c, nodes)
+	ic := &Intercomm{local: r.comm, remote: child}
+	child.parent = ic.flipped()
+	child.Start(name, main)
+	return ic
+}

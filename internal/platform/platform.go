@@ -1,0 +1,101 @@
+// Package platform models the hardware of a compute cluster: named nodes,
+// an interconnect with a latency/bandwidth cost model, and process-launch
+// overheads. It corresponds to the Marenostrum testbed of the paper
+// (65 nodes, two 8-core Xeon E5-2670 each, InfiniBand FDR10): one MPI rank
+// per node, exclusive node allocation.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Node is one compute node. Jobs are allocated whole nodes (exclusive use)
+// and run one MPI rank per node, matching the paper's setup where
+// intra-node parallelism belongs to OmpSs/OpenMP.
+type Node struct {
+	Index int
+	Name  string
+	Cores int
+}
+
+// NetModel is a linear latency/bandwidth model of the interconnect.
+type NetModel struct {
+	Latency     sim.Time // per-message latency
+	BytesPerSec float64  // link bandwidth
+}
+
+// TransferTime returns the time to move size bytes point to point.
+func (n NetModel) TransferTime(size int64) sim.Time {
+	if size <= 0 {
+		return n.Latency
+	}
+	return n.Latency + sim.Seconds(float64(size)/n.BytesPerSec)
+}
+
+// Config sizes a Cluster.
+type Config struct {
+	Nodes         int
+	CoresPerNode  int
+	Net           NetModel
+	SpawnBase     sim.Time // fixed cost of an MPI_Comm_spawn call
+	SpawnPerProc  sim.Time // additional launch cost per spawned process
+	RPCLatency    sim.Time // runtime <-> resource-manager round trip
+	PFSBytesPS    float64  // parallel filesystem bandwidth (checkpointing)
+	PFSOpenCost   sim.Time // per-process file open/close overhead on the PFS
+	PFSConcurrent int      // PFS service slots (concurrent streams)
+}
+
+// Marenostrum3 returns the paper's testbed dimensions with calibrated
+// interconnect and storage constants (see DESIGN.md §5).
+func Marenostrum3() Config {
+	return Config{
+		Nodes:         65,
+		CoresPerNode:  16,
+		Net:           NetModel{Latency: 2 * sim.Microsecond, BytesPerSec: 5e9},
+		SpawnBase:     20 * sim.Millisecond,
+		SpawnPerProc:  25 * sim.Millisecond,
+		RPCLatency:    5 * sim.Millisecond,
+		PFSBytesPS:    500e6,
+		PFSOpenCost:   200 * sim.Millisecond,
+		PFSConcurrent: 4,
+	}
+}
+
+// Cluster is the simulated machine: a kernel plus hardware description.
+type Cluster struct {
+	K     *sim.Kernel
+	Nodes []*Node
+	Cfg   Config
+	PFS   *sim.Resource // shared parallel-filesystem service slots
+}
+
+// New builds a cluster with cfg on a fresh simulation kernel.
+func New(cfg Config) *Cluster {
+	return NewOn(sim.NewKernel(), cfg)
+}
+
+// NewOn builds a cluster with cfg on an existing kernel.
+func NewOn(k *sim.Kernel, cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("platform: cluster needs at least one node")
+	}
+	if cfg.PFSConcurrent <= 0 {
+		cfg.PFSConcurrent = 1
+	}
+	c := &Cluster{K: k, Cfg: cfg, PFS: sim.NewResource(k, cfg.PFSConcurrent)}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.Nodes = append(c.Nodes, &Node{Index: i, Name: fmt.Sprintf("node%03d", i), Cores: cfg.CoresPerNode})
+	}
+	return c
+}
+
+// Net returns the interconnect model.
+func (c *Cluster) Net() NetModel { return c.Cfg.Net }
+
+// PFSWriteTime returns the time one stream needs to write size bytes to
+// the parallel filesystem, excluding queueing for a service slot.
+func (c *Cluster) PFSWriteTime(size int64) sim.Time {
+	return c.Cfg.PFSOpenCost + sim.Seconds(float64(size)/c.Cfg.PFSBytesPS)
+}

@@ -1,0 +1,73 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTransferTimeLinear(t *testing.T) {
+	n := NetModel{Latency: sim.Millisecond, BytesPerSec: 1e9}
+	if got := n.TransferTime(0); got != sim.Millisecond {
+		t.Fatalf("zero-byte transfer %v", got)
+	}
+	if got := n.TransferTime(1e9); got != sim.Millisecond+sim.Second {
+		t.Fatalf("1GB transfer %v", got)
+	}
+	small := n.TransferTime(1000)
+	big := n.TransferTime(1e6)
+	if big <= small {
+		t.Fatal("transfer time must grow with size")
+	}
+}
+
+func TestMarenostrumDimensions(t *testing.T) {
+	cfg := Marenostrum3()
+	if cfg.Nodes != 65 {
+		t.Fatalf("nodes %d, want the paper's 65", cfg.Nodes)
+	}
+	if cfg.CoresPerNode != 16 {
+		t.Fatalf("cores %d, want 2x8", cfg.CoresPerNode)
+	}
+	cl := New(cfg)
+	if len(cl.Nodes) != 65 {
+		t.Fatalf("built %d nodes", len(cl.Nodes))
+	}
+	if cl.Nodes[0].Name == cl.Nodes[1].Name {
+		t.Fatal("node names must be unique")
+	}
+	if cl.Nodes[64].Index != 64 {
+		t.Fatal("node indices must be ordinal")
+	}
+}
+
+func TestClusterDefaults(t *testing.T) {
+	cfg := Marenostrum3()
+	cfg.PFSConcurrent = 0
+	cl := New(cfg)
+	if cl.Cfg.PFSConcurrent != 1 {
+		t.Fatal("PFS slots must default to at least 1")
+	}
+	if cl.PFS == nil {
+		t.Fatal("PFS resource missing")
+	}
+}
+
+func TestPFSWriteTime(t *testing.T) {
+	cfg := Marenostrum3()
+	cfg.PFSBytesPS = 100e6
+	cfg.PFSOpenCost = sim.Second
+	cl := New(cfg)
+	if got := cl.PFSWriteTime(100e6); got != 2*sim.Second {
+		t.Fatalf("write time %v, want 2s", got)
+	}
+}
+
+func TestNewPanicsWithoutNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty cluster")
+		}
+	}()
+	New(Config{})
+}

@@ -1,0 +1,38 @@
+package redist_test
+
+import (
+	"fmt"
+
+	"repro/internal/redist"
+)
+
+// A 10-element vector moving from 2 ranks to 3: the plan lists which
+// global index ranges each old rank must ship to each new rank.
+func ExamplePlan() {
+	for _, t := range redist.Plan(10, 2, 3) {
+		fmt.Printf("old rank %d -> new rank %d: [%d,%d)\n", t.From, t.To, t.Lo, t.Hi)
+	}
+	// Output:
+	// old rank 0 -> new rank 0: [0,4)
+	// old rank 0 -> new rank 1: [4,5)
+	// old rank 1 -> new rank 1: [5,7)
+	// old rank 1 -> new rank 2: [7,10)
+}
+
+// Listing 3's shrink arithmetic: with factor 4, the last rank of each
+// group receives, everyone else sends to it.
+func ExampleShrinkRole() {
+	for r := 0; r < 4; r++ {
+		sender, dst := redist.ShrinkRole(r, 4)
+		if sender {
+			fmt.Printf("rank %d sends to rank %d\n", r, dst)
+		} else {
+			fmt.Printf("rank %d merges and offloads to new rank %d\n", r, dst)
+		}
+	}
+	// Output:
+	// rank 0 sends to rank 3
+	// rank 1 sends to rank 3
+	// rank 2 sends to rank 3
+	// rank 3 merges and offloads to new rank 0
+}

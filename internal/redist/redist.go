@@ -1,0 +1,153 @@
+// Package redist computes block data-redistribution plans for job
+// reconfiguration, implementing the transfer patterns of the paper's
+// Figure 2 and Listing 3: when a job is resized from oldP to newP ranks,
+// each element of a block-distributed vector must move from the old
+// owner's block to the new owner's block.
+//
+// The paper's example code handles homogeneous resizes (newP a multiple
+// or divisor of oldP, the "mapping factor"); the model "however, supports
+// arbitrary distributions" — Plan covers the general case, and the
+// factor-form helpers mirror Listing 3 exactly.
+package redist
+
+import "fmt"
+
+// Offset returns the first global index of rank r's block when n elements
+// are block-distributed over p ranks (balanced distribution: remainders
+// spread over the leading ranks).
+func Offset(n, p, r int) int {
+	if p <= 0 {
+		panic("redist: nonpositive rank count")
+	}
+	if r < 0 || r > p {
+		panic(fmt.Sprintf("redist: rank %d out of range [0,%d]", r, p))
+	}
+	q, rem := n/p, n%p
+	if r < rem {
+		return r * (q + 1)
+	}
+	return r*q + rem
+}
+
+// BlockLen returns the number of elements rank r owns.
+func BlockLen(n, p, r int) int { return Offset(n, p, r+1) - Offset(n, p, r) }
+
+// Transfer is one contiguous piece to move during a redistribution:
+// global element range [Lo, Hi) travels from old rank From to new rank To.
+type Transfer struct {
+	From, To int
+	Lo, Hi   int
+}
+
+// Len returns the number of elements in the transfer.
+func (t Transfer) Len() int { return t.Hi - t.Lo }
+
+// Plan computes the complete transfer list to move an n-element
+// block-distributed vector from oldP ranks to newP ranks. Transfers are
+// ordered by (From, Lo) and cover every index exactly once; pieces that
+// stay on the same rank index are still listed (the caller decides
+// whether a local copy needs the network).
+func Plan(n, oldP, newP int) []Transfer {
+	if oldP <= 0 || newP <= 0 {
+		panic("redist: nonpositive rank count")
+	}
+	var plan []Transfer
+	for from := 0; from < oldP; from++ {
+		flo, fhi := Offset(n, oldP, from), Offset(n, oldP, from+1)
+		if flo == fhi {
+			continue
+		}
+		for to := 0; to < newP; to++ {
+			tlo, thi := Offset(n, newP, to), Offset(n, newP, to+1)
+			lo, hi := max(flo, tlo), min(fhi, thi)
+			if lo < hi {
+				plan = append(plan, Transfer{From: from, To: to, Lo: lo, Hi: hi})
+			}
+		}
+	}
+	return plan
+}
+
+// From filters the plan to transfers originating at old rank r.
+func From(plan []Transfer, r int) []Transfer {
+	var out []Transfer
+	for _, t := range plan {
+		if t.From == r {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// To filters the plan to transfers arriving at new rank r.
+func To(plan []Transfer, r int) []Transfer {
+	var out []Transfer
+	for _, t := range plan {
+		if t.To == r {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Split cuts data into p contiguous balanced blocks (copies, no aliasing).
+func Split[T any](data []T, p int) [][]T {
+	n := len(data)
+	out := make([][]T, p)
+	for r := 0; r < p; r++ {
+		lo, hi := Offset(n, p, r), Offset(n, p, r+1)
+		blk := make([]T, hi-lo)
+		copy(blk, data[lo:hi])
+		out[r] = blk
+	}
+	return out
+}
+
+// Merge concatenates blocks back into one vector.
+func Merge[T any](parts [][]T) []T {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// ExpandFactor reports the mapping factor for a Listing-3 homogeneous
+// expansion (newP = factor * oldP) and whether the resize is homogeneous.
+func ExpandFactor(oldP, newP int) (int, bool) {
+	if oldP > 0 && newP > oldP && newP%oldP == 0 {
+		return newP / oldP, true
+	}
+	return 0, false
+}
+
+// ShrinkFactor reports the mapping factor for a Listing-3 homogeneous
+// shrink (oldP = factor * newP) and whether the resize is homogeneous.
+func ShrinkFactor(oldP, newP int) (int, bool) {
+	if newP > 0 && oldP > newP && oldP%newP == 0 {
+		return oldP / newP, true
+	}
+	return 0, false
+}
+
+// ShrinkRole mirrors Listing 3's sender/receiver split for a homogeneous
+// shrink by factor: ranks whose position inside their group of `factor`
+// is not the last are senders; the last rank of each group receives the
+// group's data and offloads the merged block to new rank myRank/factor.
+func ShrinkRole(myRank, factor int) (sender bool, dst int) {
+	sender = (myRank % factor) < (factor - 1)
+	if sender {
+		dst = factor*(myRank/factor+1) - 1 // last rank of my group
+	} else {
+		dst = myRank / factor // the new rank this group maps onto
+	}
+	return sender, dst
+}
+
+// ExpandDest mirrors Listing 3's expansion mapping: old rank myRank's
+// i-th sub-block goes to new rank myRank*factor + i.
+func ExpandDest(myRank, factor, i int) int { return myRank*factor + i }

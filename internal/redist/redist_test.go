@@ -1,0 +1,242 @@
+package redist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOffsetBalanced(t *testing.T) {
+	// 10 elements over 3 ranks: blocks of 4,3,3.
+	wantLens := []int{4, 3, 3}
+	for r, want := range wantLens {
+		if got := BlockLen(10, 3, r); got != want {
+			t.Errorf("BlockLen(10,3,%d) = %d, want %d", r, got, want)
+		}
+	}
+	if Offset(10, 3, 0) != 0 || Offset(10, 3, 3) != 10 {
+		t.Fatal("offsets must span [0,n)")
+	}
+}
+
+func TestOffsetEdgeCases(t *testing.T) {
+	if Offset(0, 4, 2) != 0 {
+		t.Fatal("empty vector offsets must be zero")
+	}
+	if BlockLen(3, 8, 7) != 0 {
+		t.Fatal("ranks beyond n get empty blocks")
+	}
+	if BlockLen(3, 8, 0) != 1 {
+		t.Fatal("leading ranks get the remainder")
+	}
+}
+
+// checkPlanCovers verifies the fundamental invariant: every index in
+// [0,n) appears in exactly one transfer, with valid rank endpoints.
+func checkPlanCovers(t *testing.T, n, oldP, newP int) {
+	t.Helper()
+	plan := Plan(n, oldP, newP)
+	seen := make([]int, n)
+	for _, tr := range plan {
+		if tr.From < 0 || tr.From >= oldP || tr.To < 0 || tr.To >= newP {
+			t.Fatalf("plan(%d,%d,%d): transfer %+v has invalid ranks", n, oldP, newP, tr)
+		}
+		if tr.Lo >= tr.Hi {
+			t.Fatalf("plan(%d,%d,%d): empty transfer %+v", n, oldP, newP, tr)
+		}
+		for i := tr.Lo; i < tr.Hi; i++ {
+			seen[i]++
+		}
+		// Endpoint consistency: the range must lie inside both blocks.
+		if tr.Lo < Offset(n, oldP, tr.From) || tr.Hi > Offset(n, oldP, tr.From+1) {
+			t.Fatalf("transfer %+v escapes source block", tr)
+		}
+		if tr.Lo < Offset(n, newP, tr.To) || tr.Hi > Offset(n, newP, tr.To+1) {
+			t.Fatalf("transfer %+v escapes destination block", tr)
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("plan(%d,%d,%d): index %d covered %d times", n, oldP, newP, i, c)
+		}
+	}
+}
+
+func TestPlanCoversTypicalResizes(t *testing.T) {
+	for _, tc := range [][3]int{
+		{100, 4, 8}, {100, 8, 4}, {100, 1, 16}, {100, 16, 1},
+		{7, 3, 5}, {7, 5, 3}, {1, 1, 1}, {48, 48, 12}, {48, 12, 48},
+		{1000, 32, 8}, {13, 4, 4},
+	} {
+		checkPlanCovers(t, tc[0], tc[1], tc[2])
+	}
+}
+
+func TestPlanPropertyQuick(t *testing.T) {
+	f := func(nRaw, oldRaw, newRaw uint16) bool {
+		n := int(nRaw % 500)
+		oldP := int(oldRaw%64) + 1
+		newP := int(newRaw%64) + 1
+		plan := Plan(n, oldP, newP)
+		seen := make([]int, n)
+		for _, tr := range plan {
+			for i := tr.Lo; i < tr.Hi; i++ {
+				seen[i]++
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamePRemapsIdentity(t *testing.T) {
+	plan := Plan(100, 8, 8)
+	for _, tr := range plan {
+		if tr.From != tr.To {
+			t.Fatalf("identity resize moved data: %+v", tr)
+		}
+	}
+}
+
+// simulateRedistribution applies a plan to a concrete vector and checks
+// the new blocks reconstruct the original.
+func simulateRedistribution(t *testing.T, n, oldP, newP int) {
+	t.Helper()
+	orig := make([]float64, n)
+	for i := range orig {
+		orig[i] = float64(i) * 1.5
+	}
+	oldBlocks := Split(orig, oldP)
+	newBlocks := make([][]float64, newP)
+	for r := range newBlocks {
+		newBlocks[r] = make([]float64, BlockLen(n, newP, r))
+	}
+	for _, tr := range Plan(n, oldP, newP) {
+		srcOff := Offset(n, oldP, tr.From)
+		dstOff := Offset(n, newP, tr.To)
+		copy(newBlocks[tr.To][tr.Lo-dstOff:tr.Hi-dstOff], oldBlocks[tr.From][tr.Lo-srcOff:tr.Hi-srcOff])
+	}
+	got := Merge(newBlocks)
+	if fmt.Sprint(got) != fmt.Sprint(orig) {
+		t.Fatalf("redistribution %d→%d ranks corrupted the vector", oldP, newP)
+	}
+}
+
+func TestRedistributionPreservesVector(t *testing.T) {
+	for _, tc := range [][3]int{{64, 4, 8}, {64, 8, 4}, {97, 5, 13}, {97, 13, 5}, {10, 10, 3}} {
+		simulateRedistribution(t, tc[0], tc[1], tc[2])
+	}
+}
+
+func TestRedistributionQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		n := rng.Intn(200) + 1
+		oldP := rng.Intn(16) + 1
+		newP := rng.Intn(16) + 1
+		simulateRedistribution(t, n, oldP, newP)
+	}
+}
+
+func TestSplitMergeRoundTrip(t *testing.T) {
+	data := []int{1, 2, 3, 4, 5, 6, 7}
+	parts := Split(data, 3)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	parts[0][0] = 99 // must not alias original
+	if data[0] != 1 {
+		t.Fatal("Split aliases input")
+	}
+	parts[0][0] = 1
+	if fmt.Sprint(Merge(parts)) != fmt.Sprint(data) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestFactorDetection(t *testing.T) {
+	if f, ok := ExpandFactor(4, 8); !ok || f != 2 {
+		t.Fatalf("ExpandFactor(4,8) = %d,%v", f, ok)
+	}
+	if _, ok := ExpandFactor(4, 6); ok {
+		t.Fatal("4→6 is not homogeneous")
+	}
+	if _, ok := ExpandFactor(8, 4); ok {
+		t.Fatal("expansion cannot shrink")
+	}
+	if f, ok := ShrinkFactor(48, 12); !ok || f != 4 {
+		t.Fatalf("ShrinkFactor(48,12) = %d,%v", f, ok)
+	}
+	if _, ok := ShrinkFactor(12, 48); ok {
+		t.Fatal("shrink cannot expand")
+	}
+}
+
+// TestShrinkRoleMatchesListing3 replays the paper's Listing 3 arithmetic:
+// with factor f, rank r is a sender iff (r % f) < f-1, sending to the
+// last rank of its group; group receivers offload to new rank r/f.
+func TestShrinkRoleMatchesListing3(t *testing.T) {
+	const factor = 4
+	for r := 0; r < 8; r++ {
+		sender, dst := ShrinkRole(r, factor)
+		wantSender := (r % factor) < factor-1
+		if sender != wantSender {
+			t.Fatalf("rank %d: sender=%v, want %v", r, sender, wantSender)
+		}
+		if sender {
+			want := factor*(r/factor+1) - 1
+			if dst != want {
+				t.Fatalf("rank %d sends to %d, want %d", r, dst, want)
+			}
+		} else {
+			if dst != r/factor {
+				t.Fatalf("rank %d offloads to new rank %d, want %d", r, dst, r/factor)
+			}
+		}
+	}
+}
+
+func TestShrinkGroupsHaveOneReceiver(t *testing.T) {
+	for factor := 2; factor <= 8; factor *= 2 {
+		oldP := factor * 6
+		receivers := map[int]int{}
+		for r := 0; r < oldP; r++ {
+			if sender, dst := ShrinkRole(r, factor); !sender {
+				receivers[dst]++
+			}
+		}
+		if len(receivers) != 6 {
+			t.Fatalf("factor %d: %d receiver groups, want 6", factor, len(receivers))
+		}
+		for newRank, c := range receivers {
+			if c != 1 {
+				t.Fatalf("factor %d: new rank %d has %d receivers", factor, newRank, c)
+			}
+		}
+	}
+}
+
+func TestExpandDestCoversNewRanks(t *testing.T) {
+	oldP, factor := 3, 4
+	seen := map[int]bool{}
+	for r := 0; r < oldP; r++ {
+		for i := 0; i < factor; i++ {
+			d := ExpandDest(r, factor, i)
+			if seen[d] {
+				t.Fatalf("new rank %d targeted twice", d)
+			}
+			seen[d] = true
+		}
+	}
+	if len(seen) != oldP*factor {
+		t.Fatalf("covered %d new ranks, want %d", len(seen), oldP*factor)
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEventThroughput measures raw calendar throughput: schedule
+// and execute closures with no process involvement.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < b.N; i++ {
+		k.At(Time(i), func() {})
+	}
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkContextSwitch measures the kernel<->process handshake: two
+// processes alternating through a queue.
+func BenchmarkContextSwitch(b *testing.B) {
+	k := NewKernel()
+	ping := NewQueue(k)
+	pong := NewQueue(k)
+	n := b.N
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			ping.Push(i)
+			pong.Pop(p)
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			ping.Pop(p)
+			pong.Push(i)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSleepStorm measures many processes sleeping independently.
+func BenchmarkSleepStorm(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < 256; i++ {
+		d := Time(i + 1)
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < b.N/256+1; j++ {
+				p.Sleep(d)
+			}
+		})
+	}
+	b.ResetTimer()
+	k.Run()
+}

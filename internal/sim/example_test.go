@@ -1,0 +1,70 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Two processes coordinate through a queue in virtual time: the
+// consumer blocks until the producer's messages arrive.
+func Example() {
+	k := sim.NewKernel()
+	q := sim.NewQueue(k)
+
+	k.Spawn("producer", func(p *sim.Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10 * sim.Second)
+			q.Push(i)
+		}
+	})
+	k.Spawn("consumer", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			v := q.Pop(p)
+			fmt.Printf("t=%v received %v\n", p.Now(), v)
+		}
+	})
+	k.Run()
+	// Output:
+	// t=10.000000s received 1
+	// t=20.000000s received 2
+	// t=30.000000s received 3
+}
+
+// Signals latch: waiters arriving after the fire proceed immediately.
+func ExampleSignal() {
+	k := sim.NewKernel()
+	ready := sim.NewSignal(k)
+	k.Spawn("starter", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Second)
+		ready.Fire()
+	})
+	k.Spawn("worker", func(p *sim.Proc) {
+		ready.Wait(p)
+		fmt.Printf("worker started at %v\n", p.Now())
+	})
+	k.Run()
+	// Output:
+	// worker started at 5.000000s
+}
+
+// Resources model contended hardware: two slots serve four users.
+func ExampleResource() {
+	k := sim.NewKernel()
+	r := sim.NewResource(k, 2)
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("user%d", i)
+		k.Spawn(name, func(p *sim.Proc) {
+			r.Acquire(p)
+			p.Sleep(sim.Second)
+			r.Release()
+			fmt.Printf("%s done at %v\n", p.Name(), p.Now())
+		})
+	}
+	k.Run()
+	// Output:
+	// user0 done at 1.000000s
+	// user1 done at 1.000000s
+	// user2 done at 2.000000s
+	// user3 done at 2.000000s
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+)
+
+// event is a unit of work on the kernel's calendar. fn runs in kernel
+// context: it may mutate simulation state and resume processes, but it
+// must never block.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (time, sequence number).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Kernel is a discrete-event simulation engine. All access must come from
+// the goroutine that calls Run (kernel context) or from the single process
+// the kernel is currently executing; the kernel enforces this serialization
+// itself, so no further locking is required by users.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	yielded chan struct{}
+
+	nextPID  int64
+	live     map[int64]*Proc
+	stopped  bool
+	fatal    *procPanic
+	eventCnt uint64
+
+	// Trace, when non-nil, receives a line for every process resume.
+	// Used by determinism tests.
+	Trace func(t Time, what string)
+}
+
+type procPanic struct {
+	proc  string
+	value any
+	stack []byte
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yielded: make(chan struct{}),
+		live:    make(map[int64]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events reports how many calendar events have been executed so far.
+func (k *Kernel) Events() uint64 { return k.eventCnt }
+
+// schedule enqueues fn to run at time t (>= now) in kernel context.
+func (k *Kernel) schedule(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{t: t, seq: k.seq, fn: fn})
+}
+
+// At schedules fn to run at absolute virtual time t in kernel context.
+// fn must not block; to run blocking code, spawn a process from fn.
+func (k *Kernel) At(t Time, fn func()) { k.schedule(t, fn) }
+
+// After schedules fn to run d after the current virtual time.
+func (k *Kernel) After(d Time, fn func()) { k.schedule(k.now+d, fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// are kept, so Run may be called again to continue.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes calendar events in order until no events remain or Stop is
+// called. It panics if any simulated process panicked.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		ev := heap.Pop(&k.queue).(*event)
+		k.now = ev.t
+		k.eventCnt++
+		ev.fn()
+		if k.fatal != nil {
+			f := k.fatal
+			panic(fmt.Sprintf("sim: process %q panicked: %v\n%s", f.proc, f.value, f.stack))
+		}
+	}
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+func (k *Kernel) RunUntil(t Time) {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped && k.queue[0].t <= t {
+		ev := heap.Pop(&k.queue).(*event)
+		k.now = ev.t
+		k.eventCnt++
+		ev.fn()
+		if k.fatal != nil {
+			f := k.fatal
+			panic(fmt.Sprintf("sim: process %q panicked: %v\n%s", f.proc, f.value, f.stack))
+		}
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Idle reports whether the calendar is empty.
+func (k *Kernel) Idle() bool { return len(k.queue) == 0 }
+
+// LiveProcs returns the names of processes that have been spawned but have
+// not yet exited. After Run drains the calendar, any remaining live
+// processes are deadlocked on synchronization objects; tests use this to
+// detect protocol bugs.
+func (k *Kernel) LiveProcs() []string {
+	names := make([]string, 0, len(k.live))
+	for _, p := range k.live {
+		names = append(names, p.name)
+	}
+	return names
+}
+
+// dispatch transfers control to p until it blocks or exits. It must only
+// be called from kernel context (inside an event fn).
+func (k *Kernel) dispatch(p *Proc, w wake) {
+	if p.done {
+		return
+	}
+	if k.Trace != nil {
+		k.Trace(k.now, p.name)
+	}
+	p.resume <- w
+	<-k.yielded
+}
+
+var exitSentinel = new(int)
+
+// Spawn creates a simulated process named name running fn, scheduled to
+// start at the current virtual time. fn runs in process context and may
+// block. When fn returns (or calls Proc.Exit) the process terminates.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	k.nextPID++
+	p := &Proc{k: k, id: k.nextPID, name: name, resume: make(chan wake)}
+	k.live[p.id] = p
+	go func() {
+		<-p.resume // wait for the first dispatch
+		defer func() {
+			r := recover()
+			if r != nil && r != exitSentinel {
+				k.fatal = &procPanic{proc: p.name, value: r, stack: debug.Stack()}
+			}
+			p.done = true
+			delete(k.live, p.id)
+			fns := p.exitFns
+			p.exitFns = nil
+			for _, f := range fns {
+				f()
+			}
+			k.yielded <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.schedule(k.now, func() { k.dispatch(p, wake{}) })
+	return p
+}

@@ -1,0 +1,81 @@
+package slurm
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// JobRecord is one row of the accounting database (the sacct analog).
+type JobRecord struct {
+	ID            int
+	Name          string
+	State         JobState
+	ReqNodes      int
+	SubmitSec     float64
+	StartSec      float64
+	EndSec        float64
+	WaitSec       float64
+	ExecSec       float64
+	CompletionSec float64
+	Resizes       int
+	NodeSeconds   float64
+	Flexible      bool
+}
+
+// Accounting returns the records of all terminated jobs, ordered by ID.
+// Resizer jobs are internal and excluded.
+func (c *Controller) Accounting() []JobRecord {
+	var out []JobRecord
+	for _, j := range c.jobs {
+		if j.Resizer || (j.State != StateCompleted && j.State != StateCancelled) {
+			continue
+		}
+		rec := JobRecord{
+			ID:          j.ID,
+			Name:        j.Name,
+			State:       j.State,
+			ReqNodes:    j.ReqNodes,
+			SubmitSec:   j.SubmitTime.Seconds(),
+			EndSec:      j.EndTime.Seconds(),
+			Resizes:     j.ResizeCount,
+			NodeSeconds: j.NodeSeconds,
+			Flexible:    j.Flexible,
+		}
+		if j.State == StateCompleted {
+			rec.StartSec = j.StartTime.Seconds()
+			rec.WaitSec = j.WaitTime().Seconds()
+			rec.ExecSec = j.ExecTime().Seconds()
+			rec.CompletionSec = j.CompletionTime().Seconds()
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// WriteAccountingCSV dumps the accounting records as CSV.
+func (c *Controller) WriteAccountingCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"id", "name", "state", "req_nodes", "submit_s", "start_s", "end_s",
+		"wait_s", "exec_s", "completion_s", "resizes", "node_seconds", "flexible",
+	}); err != nil {
+		return err
+	}
+	for _, r := range c.Accounting() {
+		rec := []string{
+			fmt.Sprint(r.ID), r.Name, r.State.String(), fmt.Sprint(r.ReqNodes),
+			fmt.Sprintf("%.3f", r.SubmitSec), fmt.Sprintf("%.3f", r.StartSec),
+			fmt.Sprintf("%.3f", r.EndSec), fmt.Sprintf("%.3f", r.WaitSec),
+			fmt.Sprintf("%.3f", r.ExecSec), fmt.Sprintf("%.3f", r.CompletionSec),
+			fmt.Sprint(r.Resizes), fmt.Sprintf("%.1f", r.NodeSeconds), fmt.Sprint(r.Flexible),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

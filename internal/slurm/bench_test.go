@@ -1,0 +1,83 @@
+package slurm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// BenchmarkSchedulingPass measures controller throughput with a deep
+// pending queue churned by completions (priority sort + EASY backfill
+// per event).
+func BenchmarkSchedulingPass(b *testing.B) {
+	cl := testCluster(64)
+	c := NewController(cl, DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		nodes := 1 + i%32
+		c.Submit(sleeperJob(c, fmt.Sprintf("j%d", i), nodes, sim.Time(1+i%50)*sim.Second))
+	}
+	b.ResetTimer()
+	cl.K.Run()
+}
+
+// BenchmarkResizeDance measures the full §III expand sequence (submit
+// resizer → allocate → detach → cancel → grow) end to end.
+func BenchmarkResizeDance(b *testing.B) {
+	cl := testCluster(16)
+	c := NewController(cl, DefaultConfig())
+	j := &Job{Name: "app", ReqNodes: 2, TimeLimit: 1 << 40}
+	dances := b.N
+	j.Launch = func(j *Job, _ []*platform.Node) {
+		cl.K.Spawn("app", func(p *sim.Proc) {
+			for i := 0; i < dances; i++ {
+				done := sim.NewSignal(cl.K)
+				c.SubmitResizer(j, 2, func(rj *Job) {
+					nodes := c.DetachNodes(rj)
+					c.CancelResizer(rj)
+					c.GrowJob(j, nodes)
+					done.Fire()
+				})
+				done.Wait(p)
+				c.ShrinkJob(j, 2) // reset for the next round
+			}
+			c.JobComplete(j)
+		})
+	}
+	c.Submit(j)
+	b.ResetTimer()
+	cl.K.Run()
+}
+
+// BenchmarkReconfigDecision measures the policy RPC path under a busy
+// queue (the §VIII-E contention point).
+func BenchmarkReconfigDecision(b *testing.B) {
+	cl := testCluster(32)
+	cfg := DefaultConfig()
+	cfg.RPCService = 0 // isolate decision cost from modeled service time
+	c := NewController(cl, cfg)
+	c.cfg.Policy = benchPolicy{}
+	holder := c.Submit(sleeperJob(c, "holder", 8, sim.Hour))
+	for i := 0; i < 64; i++ {
+		c.Submit(sleeperJob(c, fmt.Sprintf("pend%d", i), 32, sim.Hour))
+	}
+	decisions := b.N
+	cl.K.Spawn("checker", func(p *sim.Proc) {
+		for i := 0; i < decisions; i++ {
+			c.ReconfigRPC(p, holder, ResizeRequest{MinProcs: 2, MaxProcs: 16, Factor: 2, Preferred: 8})
+		}
+	})
+	b.ResetTimer()
+	cl.K.RunUntil(sim.Hour / 2)
+}
+
+// benchPolicy walks the queue like Algorithm 1 but always answers
+// no-action, isolating the view-building cost.
+type benchPolicy struct{}
+
+func (benchPolicy) Decide(v *QueueView, req ResizeRequest) Decision {
+	_ = v.PendingEligible()
+	_ = v.FreeNodes()
+	return Decision{Action: NoAction}
+}

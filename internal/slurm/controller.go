@@ -1,0 +1,270 @@
+package slurm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// SchedDelay is the reaction latency between a state change and the
+	// scheduling pass it triggers (slurmctld event handling latency).
+	SchedDelay sim.Time
+	// Backfill enables EASY backfill in every scheduling pass (the
+	// paper's Slurm ran the backfill scheduler).
+	Backfill bool
+	// Policy decides reconfiguration requests (nil disables DMR).
+	Policy SelectPlugin
+	// RPCService is the controller-side service time of one
+	// reconfiguration decision. Decisions are served one at a time, so
+	// many jobs checking at once queue here — the "burst of
+	// communications" the checking inhibitor exists to avoid (§VIII-E).
+	RPCService sim.Time
+}
+
+// DefaultConfig mirrors the paper's Slurm setup: backfill scheduling with
+// multifactor priorities at defaults.
+func DefaultConfig() Config {
+	return Config{
+		SchedDelay: 100 * sim.Millisecond,
+		Backfill:   true,
+		RPCService: 100 * sim.Millisecond,
+	}
+}
+
+// Controller is the workload manager daemon (slurmctld analog).
+type Controller struct {
+	cluster *platform.Cluster
+	k       *sim.Kernel
+	cfg     Config
+
+	free    []*platform.Node // sorted by index
+	held    []*platform.Node // detached during an expand dance
+	drained map[*platform.Node]bool
+
+	jobs    map[int]*Job
+	pending []*Job
+	running map[int]*Job
+	nextID  int
+
+	completed int
+	kicked    bool
+	rpcSlot   *sim.Resource // serializes reconfiguration decisions
+
+	// Events is the append-only trace of everything the controller did.
+	Events []Event
+	// OnSample, when set, observes every allocation change (metrics).
+	OnSample func(t sim.Time, allocatedNodes, runningJobs, completedJobs, pendingJobs int)
+}
+
+// NewController builds a controller over the cluster's nodes.
+func NewController(c *platform.Cluster, cfg Config) *Controller {
+	ctl := &Controller{
+		cluster: c,
+		k:       c.K,
+		cfg:     cfg,
+		jobs:    make(map[int]*Job),
+		running: make(map[int]*Job),
+		rpcSlot: sim.NewResource(c.K, 1),
+	}
+	ctl.free = append(ctl.free, c.Nodes...)
+	return ctl
+}
+
+// ReconfigRPC serves one decision round trip for process p: queue for
+// the controller's single decision slot, pay the service time, decide.
+// This is the server side of dmr_check_status.
+func (c *Controller) ReconfigRPC(p *sim.Proc, j *Job, req ResizeRequest) Decision {
+	c.rpcSlot.Acquire(p)
+	p.Sleep(c.cfg.RPCService)
+	dec := c.Reconfig(j, req)
+	c.rpcSlot.Release()
+	return dec
+}
+
+// Cluster returns the underlying hardware.
+func (c *Controller) Cluster() *platform.Cluster { return c.cluster }
+
+// Kernel returns the simulation kernel.
+func (c *Controller) Kernel() *sim.Kernel { return c.k }
+
+// TotalNodes returns the cluster size.
+func (c *Controller) TotalNodes() int { return len(c.cluster.Nodes) }
+
+// FreeNodes returns how many nodes are currently unallocated.
+func (c *Controller) FreeNodes() int { return len(c.free) }
+
+// AllocatedNodes returns how many nodes are allocated or held. Drained
+// nodes count only while a job still occupies them.
+func (c *Controller) AllocatedNodes() int {
+	out := len(c.cluster.Nodes) - len(c.free)
+	for n := range c.drained {
+		if !c.nodeHeld(n) {
+			out--
+		}
+	}
+	return out
+}
+
+// Job returns the job with the given id, or nil.
+func (c *Controller) Job(id int) *Job { return c.jobs[id] }
+
+// RunningJobs returns the running jobs sorted by id.
+func (c *Controller) RunningJobs() []*Job {
+	out := make([]*Job, 0, len(c.running))
+	for _, j := range c.running {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// PendingJobs returns the pending queue in priority order.
+func (c *Controller) PendingJobs() []*Job {
+	out := make([]*Job, len(c.pending))
+	copy(out, c.pending)
+	c.sortQueue(out)
+	return out
+}
+
+// CompletedJobs returns how many jobs have finished.
+func (c *Controller) CompletedJobs() int { return c.completed }
+
+// Submit enqueues a job. The controller assigns the ID and stamps the
+// submit time. Safe to call from kernel or process context.
+func (c *Controller) Submit(j *Job) *Job {
+	c.nextID++
+	j.ID = c.nextID
+	j.SubmitTime = c.k.Now()
+	j.State = StatePending
+	if j.MinNodes == 0 {
+		j.MinNodes = j.ReqNodes
+	}
+	if j.MaxNodes == 0 {
+		j.MaxNodes = j.ReqNodes
+	}
+	c.jobs[j.ID] = j
+	c.pending = append(c.pending, j)
+	c.log(EvSubmit, j, fmt.Sprintf("req=%d", j.ReqNodes))
+	c.kick()
+	return j
+}
+
+// Cancel removes a pending job from the queue (running jobs are not
+// cancellable in this reproduction; the paper only cancels pending
+// resizer jobs).
+func (c *Controller) Cancel(j *Job) error {
+	if j.State != StatePending {
+		return fmt.Errorf("slurm: cancel: job %d is %v, not pending", j.ID, j.State)
+	}
+	c.removePending(j)
+	j.State = StateCancelled
+	j.EndTime = c.k.Now()
+	c.log(EvCancel, j, "")
+	if j.OnEnd != nil {
+		j.OnEnd(j)
+	}
+	c.kick()
+	return nil
+}
+
+// JobComplete is called by the application layer when a job's processes
+// have all finished. It releases the allocation.
+func (c *Controller) JobComplete(j *Job) {
+	if j.State != StateRunning {
+		panic(fmt.Sprintf("slurm: JobComplete on %v job %d", j.State, j.ID))
+	}
+	j.accumulateNodeSeconds(c.k.Now())
+	c.releaseNodes(j.alloc)
+	j.alloc = nil
+	delete(c.running, j.ID)
+	j.State = StateCompleted
+	j.EndTime = c.k.Now()
+	c.completed++
+	c.log(EvEnd, j, "")
+	if j.OnEnd != nil {
+		j.OnEnd(j)
+	}
+	c.sample()
+	c.kick()
+}
+
+// allocateNodes takes n nodes from the free pool (lowest index first).
+func (c *Controller) allocateNodes(n int) []*platform.Node {
+	if n > len(c.free) {
+		panic(fmt.Sprintf("slurm: allocating %d of %d free nodes", n, len(c.free)))
+	}
+	nodes := c.free[:n:n]
+	c.free = c.free[n:]
+	return nodes
+}
+
+// releaseNodes returns nodes to the free pool, keeping it sorted.
+// Nodes drained while allocated complete their drain here.
+func (c *Controller) releaseNodes(nodes []*platform.Node) {
+	c.free = append(c.free, c.filterDrained(nodes)...)
+	sort.Slice(c.free, func(i, j int) bool { return c.free[i].Index < c.free[j].Index })
+}
+
+func (c *Controller) removePending(j *Job) {
+	for i, p := range c.pending {
+		if p == j {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// startJob allocates and launches a pending job. Kernel context.
+func (c *Controller) startJob(j *Job, n int) {
+	j.alloc = c.allocateNodes(n)
+	j.State = StateRunning
+	j.StartTime = c.k.Now()
+	j.lastAllocated = j.StartTime
+	c.removePending(j)
+	c.running[j.ID] = j
+	c.log(EvStart, j, fmt.Sprintf("nodes=%d", n))
+	c.sample()
+	if j.Resizer {
+		if j.onResizerStart != nil {
+			j.onResizerStart(j)
+		}
+		return
+	}
+	if j.Launch != nil {
+		j.Launch(j, j.alloc)
+	}
+}
+
+// kick schedules a coalesced scheduling pass after the reaction delay.
+func (c *Controller) kick() {
+	if c.kicked {
+		return
+	}
+	c.kicked = true
+	c.k.After(c.cfg.SchedDelay, func() {
+		c.kicked = false
+		c.schedulePass()
+	})
+}
+
+// sample pushes an allocation snapshot to the metrics hook.
+func (c *Controller) sample() {
+	if c.OnSample != nil {
+		c.OnSample(c.k.Now(), c.AllocatedNodes(), len(c.running), c.completed, len(c.pending))
+	}
+}
+
+// log appends a controller event.
+func (c *Controller) log(kind EventKind, j *Job, detail string) {
+	c.Events = append(c.Events, Event{
+		T:     c.k.Now(),
+		Kind:  kind,
+		JobID: j.ID,
+		Nodes: len(j.alloc),
+		Info:  detail,
+	})
+}

@@ -1,0 +1,52 @@
+package slurm
+
+import "repro/internal/sim"
+
+// EventKind classifies controller trace events.
+type EventKind int
+
+// Controller event kinds.
+const (
+	EvSubmit EventKind = iota
+	EvStart
+	EvEnd
+	EvCancel
+	EvExpand
+	EvShrink
+	EvDetach
+	EvGrow
+	EvBoost
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSubmit:
+		return "SUBMIT"
+	case EvStart:
+		return "START"
+	case EvEnd:
+		return "END"
+	case EvCancel:
+		return "CANCEL"
+	case EvExpand:
+		return "EXPAND"
+	case EvShrink:
+		return "SHRINK"
+	case EvDetach:
+		return "DETACH"
+	case EvGrow:
+		return "GROW"
+	case EvBoost:
+		return "BOOST"
+	}
+	return "?"
+}
+
+// Event is one entry in the controller's trace.
+type Event struct {
+	T     sim.Time
+	Kind  EventKind
+	JobID int
+	Nodes int
+	Info  string
+}

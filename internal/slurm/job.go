@@ -1,0 +1,122 @@
+// Package slurm implements the workload manager of the reproduction: a
+// resource controller with a priority-ordered pending queue, EASY
+// backfill scheduling, job dependencies, and — the part the paper adds —
+// the job-resize primitives of Section III (update a job's node count,
+// detach nodes from a job, cancel, grow), plus a pluggable resource
+// selection policy used for reconfiguration decisions (Algorithm 1 lives
+// in the selectdmr subpackage).
+package slurm
+
+import (
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState int
+
+// Job lifecycle states.
+const (
+	StatePending JobState = iota
+	StateRunning
+	StateCompleted
+	StateCancelled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case StatePending:
+		return "PENDING"
+	case StateRunning:
+		return "RUNNING"
+	case StateCompleted:
+		return "COMPLETED"
+	case StateCancelled:
+		return "CANCELLED"
+	}
+	return "UNKNOWN"
+}
+
+// DepType is the kind of a job dependency.
+type DepType int
+
+// Dependency kinds. DepExpand mirrors Slurm's --dependency=expand:<jobid>
+// used by the paper's resizer jobs: the dependent job is only eligible
+// while the target job is running, and its allocation is destined to be
+// merged into the target.
+const (
+	DepNone DepType = iota
+	DepAfterAny
+	DepExpand
+)
+
+// Dependency gates a job's eligibility on another job.
+type Dependency struct {
+	Type  DepType
+	JobID int
+}
+
+// LaunchFunc starts a job's application on its allocated nodes. It runs
+// in kernel context and must not block; it should spawn processes.
+type LaunchFunc func(j *Job, nodes []*platform.Node)
+
+// Job is a unit of work managed by the controller.
+type Job struct {
+	ID   int
+	Name string
+
+	// Requested geometry. Rigid jobs have MinNodes == MaxNodes ==
+	// ReqNodes. The moldable-submission extension (paper §X future work)
+	// sets MinNodes < MaxNodes and lets the scheduler choose at start.
+	ReqNodes int
+	MinNodes int
+	MaxNodes int
+
+	TimeLimit  sim.Time // user runtime estimate, drives backfill reservations
+	SubmitTime sim.Time
+	StartTime  sim.Time
+	EndTime    sim.Time
+
+	State      JobState
+	Dependency Dependency
+	Boosted    bool // max-priority boost (Algorithm 1's set_max_priority)
+	Flexible   bool // participates in DMR reconfiguration
+	Resizer    bool // internal resizer job from the expand dance; never launched
+
+	Launch LaunchFunc
+	OnEnd  func(j *Job) // invoked at completion or cancellation
+
+	alloc          []*platform.Node
+	onResizerStart func(*Job) // resizer jobs: fired when allocated
+
+	// bookkeeping for metrics
+	ResizeCount   int
+	NodeSeconds   float64 // integral of allocated nodes over time
+	lastAllocated sim.Time
+}
+
+// Alloc returns the job's current node allocation (nil when not running).
+func (j *Job) Alloc() []*platform.Node { return j.alloc }
+
+// NNodes returns the current allocation size.
+func (j *Job) NNodes() int { return len(j.alloc) }
+
+// WaitTime returns how long the job waited in the queue; valid once
+// started.
+func (j *Job) WaitTime() sim.Time { return j.StartTime - j.SubmitTime }
+
+// ExecTime returns the job's execution time; valid once ended.
+func (j *Job) ExecTime() sim.Time { return j.EndTime - j.StartTime }
+
+// CompletionTime returns wait plus execution time (the paper's
+// "completion time").
+func (j *Job) CompletionTime() sim.Time { return j.EndTime - j.SubmitTime }
+
+// accumulateNodeSeconds integrates allocation size up to now, then marks
+// now as the new accounting origin.
+func (j *Job) accumulateNodeSeconds(now sim.Time) {
+	if j.State == StateRunning {
+		j.NodeSeconds += float64(len(j.alloc)) * (now - j.lastAllocated).Seconds()
+	}
+	j.lastAllocated = now
+}

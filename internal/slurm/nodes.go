@@ -1,0 +1,89 @@
+package slurm
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Node administration: drain and resume, the minimal state machine a
+// production workload manager needs for maintenance and failure
+// handling. Draining an allocated node takes effect lazily when its job
+// releases it (Slurm's DRAINING→DRAINED transition); a drained node is
+// never handed to new allocations until resumed.
+
+// DrainNode removes a node from scheduling. Idempotent.
+func (c *Controller) DrainNode(index int) error {
+	if index < 0 || index >= len(c.cluster.Nodes) {
+		return fmt.Errorf("slurm: drain: no node %d", index)
+	}
+	n := c.cluster.Nodes[index]
+	if c.drained == nil {
+		c.drained = make(map[*platform.Node]bool)
+	}
+	if c.drained[n] {
+		return nil
+	}
+	c.drained[n] = true
+	// If currently free, pull it out of the pool immediately.
+	for i, f := range c.free {
+		if f == n {
+			c.free = append(c.free[:i], c.free[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// ResumeNode returns a drained node to service. Idempotent.
+func (c *Controller) ResumeNode(index int) error {
+	if index < 0 || index >= len(c.cluster.Nodes) {
+		return fmt.Errorf("slurm: resume: no node %d", index)
+	}
+	n := c.cluster.Nodes[index]
+	if !c.drained[n] {
+		return nil
+	}
+	delete(c.drained, n)
+	// Only re-add to the free pool if no job holds it (it may still be
+	// allocated if it was drained while busy and the job is running).
+	if !c.nodeHeld(n) {
+		c.releaseNodes([]*platform.Node{n})
+		c.kick()
+	}
+	return nil
+}
+
+// DrainedNodes reports how many nodes are out of service.
+func (c *Controller) DrainedNodes() int { return len(c.drained) }
+
+// nodeHeld reports whether any job or the held pool owns n.
+func (c *Controller) nodeHeld(n *platform.Node) bool {
+	for _, j := range c.running {
+		for _, a := range j.alloc {
+			if a == n {
+				return true
+			}
+		}
+	}
+	for _, h := range c.held {
+		if h == n {
+			return true
+		}
+	}
+	return false
+}
+
+// filterDrained drops drained nodes on release instead of freeing them.
+func (c *Controller) filterDrained(nodes []*platform.Node) []*platform.Node {
+	if len(c.drained) == 0 {
+		return nodes
+	}
+	out := make([]*platform.Node, 0, len(nodes))
+	for _, n := range nodes {
+		if !c.drained[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package slurm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDrainFreeNodeReducesCapacity(t *testing.T) {
+	cl := testCluster(4)
+	c := NewController(cl, DefaultConfig())
+	if err := c.DrainNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodes() != 3 {
+		t.Fatalf("free %d, want 3", c.FreeNodes())
+	}
+	// A 4-node job can no longer run; a 3-node one can.
+	big := c.Submit(sleeperJob(c, "big", 4, 10*sim.Second))
+	small := c.Submit(sleeperJob(c, "small", 3, 10*sim.Second))
+	cl.K.RunUntil(5 * sim.Second)
+	if big.State == StateRunning {
+		t.Fatal("4-node job ran on a 3-node pool")
+	}
+	if small.State != StateRunning {
+		t.Fatal("3-node job should have backfilled around the blocked one")
+	}
+	// Resume: the big job can now start once small finishes.
+	if err := c.ResumeNode(0); err != nil {
+		t.Fatal(err)
+	}
+	cl.K.Run()
+	if big.State != StateCompleted {
+		t.Fatalf("big state %v after resume", big.State)
+	}
+}
+
+func TestDrainBusyNodeTakesEffectOnRelease(t *testing.T) {
+	cl := testCluster(2)
+	c := NewController(cl, DefaultConfig())
+	j := c.Submit(sleeperJob(c, "holder", 2, 10*sim.Second))
+	cl.K.RunUntil(sim.Second)
+	if j.State != StateRunning {
+		t.Fatal("holder not running")
+	}
+	if err := c.DrainNode(0); err != nil {
+		t.Fatal(err)
+	}
+	// Still allocated to the job.
+	if c.AllocatedNodes() != 2 {
+		t.Fatalf("allocated %d while job holds the draining node", c.AllocatedNodes())
+	}
+	cl.K.Run()
+	if j.State != StateCompleted {
+		t.Fatalf("holder state %v", j.State)
+	}
+	// After release, the drained node stays out of the pool.
+	if c.FreeNodes() != 1 {
+		t.Fatalf("free %d, want 1 (node 0 drained)", c.FreeNodes())
+	}
+	if c.DrainedNodes() != 1 {
+		t.Fatalf("drained %d", c.DrainedNodes())
+	}
+}
+
+func TestDrainResumeIdempotent(t *testing.T) {
+	cl := testCluster(2)
+	c := NewController(cl, DefaultConfig())
+	for i := 0; i < 3; i++ {
+		if err := c.DrainNode(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.FreeNodes() != 1 || c.DrainedNodes() != 1 {
+		t.Fatalf("free %d drained %d", c.FreeNodes(), c.DrainedNodes())
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.ResumeNode(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.FreeNodes() != 2 || c.DrainedNodes() != 0 {
+		t.Fatalf("free %d drained %d after resume", c.FreeNodes(), c.DrainedNodes())
+	}
+}
+
+func TestDrainInvalidIndex(t *testing.T) {
+	cl := testCluster(2)
+	c := NewController(cl, DefaultConfig())
+	if err := c.DrainNode(9); err == nil {
+		t.Fatal("expected error for bad index")
+	}
+	if err := c.ResumeNode(-1); err == nil {
+		t.Fatal("expected error for bad index")
+	}
+}
+
+func TestAccountingRecords(t *testing.T) {
+	cl := testCluster(4)
+	c := NewController(cl, DefaultConfig())
+	a := c.Submit(sleeperJob(c, "a", 2, 10*sim.Second))
+	b := c.Submit(sleeperJob(c, "b", 2, 5*sim.Second))
+	cancelled := c.Submit(sleeperJob(c, "c", 8, 5*sim.Second)) // can never run
+	cl.K.At(sim.Second, func() {
+		if err := c.Cancel(cancelled); err != nil {
+			t.Errorf("cancel: %v", err)
+		}
+	})
+	cl.K.Run()
+	recs := c.Accounting()
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].ID != a.ID || recs[0].ExecSec != 10 {
+		t.Fatalf("record a: %+v", recs[0])
+	}
+	if recs[1].ID != b.ID || recs[1].NodeSeconds != 10 {
+		t.Fatalf("record b: %+v", recs[1])
+	}
+	if recs[2].State != StateCancelled || recs[2].StartSec != 0 {
+		t.Fatalf("record c: %+v", recs[2])
+	}
+}
+
+func TestAccountingCSV(t *testing.T) {
+	cl := testCluster(2)
+	c := NewController(cl, DefaultConfig())
+	c.Submit(sleeperJob(c, "only", 2, 3*sim.Second))
+	cl.K.Run()
+	var buf bytes.Buffer
+	if err := c.WriteAccountingCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,name,state") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "only,COMPLETED,2") {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestAccountingExcludesResizers(t *testing.T) {
+	cl := testCluster(8)
+	c := NewController(cl, DefaultConfig())
+	a := c.Submit(sleeperJob(c, "a", 2, 20*sim.Second))
+	cl.K.At(sim.Second, func() {
+		c.SubmitResizer(a, 2, func(rj *Job) {
+			nodes := c.DetachNodes(rj)
+			c.CancelResizer(rj)
+			c.GrowJob(a, nodes)
+		})
+	})
+	cl.K.Run()
+	for _, r := range c.Accounting() {
+		if strings.Contains(r.Name, "resizer") {
+			t.Fatalf("resizer leaked into accounting: %+v", r)
+		}
+	}
+}

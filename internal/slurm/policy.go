@@ -1,0 +1,92 @@
+package slurm
+
+// Action is a reconfiguration verdict, as returned to the runtime by the
+// DMR API: "expand", "shrink", or "no action" (§V-A).
+type Action int
+
+// Reconfiguration actions.
+const (
+	NoAction Action = iota
+	Expand
+	Shrink
+)
+
+func (a Action) String() string {
+	switch a {
+	case NoAction:
+		return "no-action"
+	case Expand:
+		return "expand"
+	case Shrink:
+		return "shrink"
+	}
+	return "?"
+}
+
+// ResizeRequest carries the DMR API input arguments of §V-A: the bounds
+// the application is willing to run within, the resizing factor, and the
+// optional preferred size.
+type ResizeRequest struct {
+	MinProcs  int
+	MaxProcs  int
+	Factor    int // resize steps multiply/divide the current size by this
+	Preferred int // 0 means no preference
+}
+
+// Decision is the policy verdict.
+type Decision struct {
+	Action    Action
+	NewNodes  int // target node count when Action != NoAction
+	TargetJob int // pending job that motivated a shrink, if any
+}
+
+// QueueView is the controller-state window a selection policy sees.
+type QueueView struct {
+	ctl *Controller
+	job *Job
+}
+
+// FreeNodes returns the number of unallocated nodes.
+func (v *QueueView) FreeNodes() int { return v.ctl.FreeNodes() }
+
+// TotalNodes returns the cluster size.
+func (v *QueueView) TotalNodes() int { return v.ctl.TotalNodes() }
+
+// Job returns the requesting job.
+func (v *QueueView) Job() *Job { return v.job }
+
+// PendingEligible returns pending jobs whose dependencies are satisfied,
+// in priority order, excluding resizer jobs (they belong to in-flight
+// expansions, not to the workload).
+func (v *QueueView) PendingEligible() []*Job {
+	var out []*Job
+	for _, j := range v.ctl.PendingJobs() {
+		if j.Resizer || !v.ctl.eligible(j) {
+			continue
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// BoostJob grants a pending job maximum priority.
+func (v *QueueView) BoostJob(id int) { v.ctl.BoostJob(id) }
+
+// SelectPlugin decides reconfiguration requests. Implementations must be
+// pure apart from BoostJob: the controller performs the granted action.
+type SelectPlugin interface {
+	Decide(v *QueueView, req ResizeRequest) Decision
+}
+
+// Reconfig asks the configured policy what job j should do, given the
+// current queue state. It is the controller half of dmr_check_status.
+func (c *Controller) Reconfig(j *Job, req ResizeRequest) Decision {
+	if c.cfg.Policy == nil || j.State != StateRunning {
+		return Decision{Action: NoAction}
+	}
+	d := c.cfg.Policy.Decide(&QueueView{ctl: c, job: j}, req)
+	if d.Action == Shrink && d.TargetJob != 0 {
+		c.BoostJob(d.TargetJob)
+	}
+	return d
+}

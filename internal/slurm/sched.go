@@ -1,0 +1,191 @@
+package slurm
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// priority computes a job's scheduling priority. The paper enables
+// Slurm's multifactor plugin with default weights, which behaves as
+// age-ordered FIFO; the DMR policy additionally boosts the job that
+// triggered a shrink to maximum priority (Algorithm 1, line 18).
+func (c *Controller) priority(j *Job) float64 {
+	const boost = 1e12
+	p := float64(0)
+	if j.Boosted {
+		p += boost
+	}
+	if j.Resizer {
+		// Resizer jobs are submitted with maximum priority (§V-B1).
+		p += boost
+	}
+	// Age factor: older submissions first.
+	p += (c.k.Now() - j.SubmitTime).Seconds() * 1e-3
+	return p
+}
+
+// sortQueue orders jobs by descending priority, breaking ties by submit
+// time then ID for determinism.
+func (c *Controller) sortQueue(q []*Job) {
+	sort.SliceStable(q, func(i, k int) bool {
+		pi, pk := c.priority(q[i]), c.priority(q[k])
+		if pi != pk {
+			return pi > pk
+		}
+		if q[i].SubmitTime != q[k].SubmitTime {
+			return q[i].SubmitTime < q[k].SubmitTime
+		}
+		return q[i].ID < q[k].ID
+	})
+}
+
+// eligible reports whether a pending job's dependencies allow it to start.
+func (c *Controller) eligible(j *Job) bool {
+	switch j.Dependency.Type {
+	case DepNone:
+		return true
+	case DepAfterAny:
+		dep := c.jobs[j.Dependency.JobID]
+		return dep == nil || dep.State == StateCompleted || dep.State == StateCancelled
+	case DepExpand:
+		dep := c.jobs[j.Dependency.JobID]
+		return dep != nil && dep.State == StateRunning
+	}
+	return false
+}
+
+// startSize decides how many nodes to start j with. Rigid jobs use
+// ReqNodes. Moldable jobs (the future-work extension) take as many nodes
+// as available within [MinNodes, MaxNodes].
+func (c *Controller) startSize(j *Job, free int) (int, bool) {
+	if j.MinNodes == j.MaxNodes || j.Resizer {
+		if j.ReqNodes <= free {
+			return j.ReqNodes, true
+		}
+		return 0, false
+	}
+	if j.MinNodes > free {
+		return 0, false
+	}
+	n := j.MaxNodes
+	if n > free {
+		n = free
+	}
+	return n, true
+}
+
+// schedulePass runs the main priority scheduler followed by EASY
+// backfill. Kernel context.
+func (c *Controller) schedulePass() {
+	// Main pass: start jobs in priority order until the first one that
+	// cannot run; that job becomes the backfill reservation holder.
+	var blocked *Job
+	for {
+		queue := c.PendingJobs()
+		started := false
+		for _, j := range queue {
+			if !c.eligible(j) {
+				continue
+			}
+			n, ok := c.startSize(j, len(c.free))
+			if !ok {
+				blocked = j
+				break
+			}
+			c.startJob(j, n)
+			started = true
+			break // re-sort: priorities and free counts changed
+		}
+		if !started {
+			break
+		}
+	}
+	if blocked == nil || !c.cfg.Backfill {
+		return
+	}
+
+	// EASY backfill: compute the shadow time at which the blocked job
+	// could start if running jobs end at their time-limit estimates, and
+	// the extra nodes left over at that moment. A lower-priority job may
+	// start now if it fits and either finishes before the shadow time or
+	// leaves the reservation intact.
+	shadow, extra := c.reservation(blocked)
+	for {
+		started := false
+		for _, j := range c.PendingJobs() {
+			if j == blocked || !c.eligible(j) {
+				continue
+			}
+			need := j.ReqNodes
+			if j.MinNodes < j.MaxNodes {
+				need = j.MinNodes
+			}
+			if need > len(c.free) {
+				continue
+			}
+			fitsBefore := c.k.Now()+j.TimeLimit <= shadow
+			if !fitsBefore && need > extra {
+				continue
+			}
+			n := need
+			if j.MinNodes < j.MaxNodes {
+				// Moldable backfill: cap at what preserves the reservation
+				// unless it finishes before the shadow time.
+				n, _ = c.startSize(j, len(c.free))
+				if !fitsBefore && n > extra {
+					n = extra
+				}
+				if n < j.MinNodes {
+					continue
+				}
+			}
+			c.startJob(j, n)
+			if !fitsBefore {
+				extra -= n
+			}
+			started = true
+			break
+		}
+		if !started {
+			return
+		}
+	}
+}
+
+// reservation computes (shadowTime, extraNodes) for EASY backfill: the
+// earliest time the blocked job can accumulate enough nodes assuming
+// running jobs end at StartTime+TimeLimit, and how many nodes beyond the
+// blocked job's requirement will be free at that time.
+func (c *Controller) reservation(blocked *Job) (sim.Time, int) {
+	type rel struct {
+		t sim.Time
+		n int
+	}
+	var rels []rel
+	for _, j := range c.running {
+		end := j.StartTime + j.TimeLimit
+		if end < c.k.Now() {
+			end = c.k.Now() // overran its estimate; assume imminent end
+		}
+		rels = append(rels, rel{end, len(j.alloc)})
+	}
+	sort.Slice(rels, func(i, k int) bool { return rels[i].t < rels[k].t })
+	avail := len(c.free)
+	need := blocked.ReqNodes
+	if blocked.MinNodes < blocked.MaxNodes {
+		need = blocked.MinNodes
+	}
+	if avail >= need {
+		return c.k.Now(), avail - need
+	}
+	for _, r := range rels {
+		avail += r.n
+		if avail >= need {
+			return r.t, avail - need
+		}
+	}
+	// Even with everything released the job cannot run (oversized);
+	// treat the reservation as infinitely far away.
+	return sim.Time(1<<62 - 1), avail
+}

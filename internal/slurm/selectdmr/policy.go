@@ -1,0 +1,223 @@
+// Package selectdmr implements the paper's Slurm resource-selection
+// plug-in for reconfiguration decisions — Algorithm 1 — with its three
+// degrees of scheduling freedom (§IV):
+//
+//  1. Request an action: the application constrains the verdict through
+//     the min/max bounds of the request.
+//  2. Preferred number of nodes: met when feasible; a lone job in the
+//     system is instead expanded to its maximum.
+//  3. Wide optimization: expand when nothing in the queue could use the
+//     free resources, shrink when releasing nodes lets a queued job run
+//     (that job is boosted to maximum priority).
+package selectdmr
+
+import "repro/internal/slurm"
+
+// Policy is the Algorithm 1 selection plug-in.
+type Policy struct {
+	// DisableWide turns off the wide-optimization branch (lines 13-24),
+	// leaving only preferred-size handling. Used by the policy ablation.
+	DisableWide bool
+}
+
+// New returns the full Algorithm 1 plug-in.
+func New() *Policy { return &Policy{} }
+
+// NewPreferredOnly returns the ablated plug-in without wide optimization.
+func NewPreferredOnly() *Policy { return &Policy{DisableWide: true} }
+
+var _ slurm.SelectPlugin = (*Policy)(nil)
+
+// chainUp returns the largest size reachable from cur by multiplying by
+// factor that is <= limit, or cur if none.
+func chainUp(cur, factor, limit int) int {
+	best := cur
+	for n := cur * factor; n <= limit; n *= factor {
+		best = n
+	}
+	return best
+}
+
+// chainDown returns the smallest size reachable from cur by repeatedly
+// dividing by factor that stays >= limit, or cur if no step is possible.
+// Shrink steps require exact divisibility (§VII.C: resizes move to a
+// multiple or divisor of the current size).
+func chainDown(cur, factor, limit int) int {
+	best := cur
+	for n := cur; n%factor == 0; {
+		n /= factor
+		if n < limit || n < 1 {
+			break
+		}
+		best = n
+	}
+	return best
+}
+
+// stepTo returns the factor-chain value moving cur toward want, clamped
+// to [min, max]; ok is false when no move is possible.
+func stepTo(cur, want, factor, min, max int) (int, bool) {
+	if factor < 2 {
+		factor = 2
+	}
+	if want > cur {
+		limit := want
+		if limit > max {
+			limit = max
+		}
+		n := chainUp(cur, factor, limit)
+		return n, n > cur
+	}
+	if want < cur {
+		limit := want
+		if limit < min {
+			limit = min
+		}
+		n := chainDown(cur, factor, limit)
+		return n, n < cur
+	}
+	return cur, false
+}
+
+// maxProcsTo implements Algorithm 1's max_procs_to(x): the largest
+// factor-chain expansion toward x that the free nodes can satisfy.
+func maxProcsTo(cur, x, factor, max, free int) (int, bool) {
+	if factor < 2 {
+		factor = 2
+	}
+	limit := x
+	if limit > max {
+		limit = max
+	}
+	best := cur
+	for n := cur * factor; n <= limit; n *= factor {
+		if n-cur > free {
+			break
+		}
+		best = n
+	}
+	return best, best > cur
+}
+
+// minProcsRun implements Algorithm 1's min_procs_run(target): the
+// largest factor-chain shrink of cur (i.e. the minimal release) such
+// that the target job fits in free + released nodes; ok is false when
+// even shrinking to min does not admit the target.
+func minProcsRun(cur, factor, min, free, targetNeed int) (int, bool) {
+	if factor < 2 {
+		factor = 2
+	}
+	for n := cur; n%factor == 0; {
+		n /= factor
+		if n < min || n < 1 {
+			break
+		}
+		if free+(cur-n) >= targetNeed {
+			return n, true
+		}
+	}
+	return cur, false
+}
+
+// need returns the nodes a pending job requires to start.
+func need(j *slurm.Job) int {
+	if j.MinNodes < j.MaxNodes {
+		return j.MinNodes
+	}
+	return j.ReqNodes
+}
+
+// Decide runs Algorithm 1 for one dmr_check_status request.
+func (p *Policy) Decide(v *slurm.QueueView, req slurm.ResizeRequest) slurm.Decision {
+	job := v.Job()
+	cur := job.NNodes()
+	free := v.FreeNodes()
+	minP, maxP := req.MinProcs, req.MaxProcs
+	if minP < 1 {
+		minP = 1
+	}
+	if maxP < minP {
+		maxP = minP
+	}
+	pending := v.PendingEligible()
+
+	// --- Request an action (§IV-1): the application "strongly
+	// suggests" a move by placing the current size outside its
+	// [min, max] bounds; Slurm remains responsible for granting it.
+	if minP > cur {
+		if n, ok := maxProcsTo(cur, minP, req.Factor, maxP, free); ok {
+			return slurm.Decision{Action: slurm.Expand, NewNodes: n}
+		}
+		return slurm.Decision{Action: slurm.NoAction}
+	}
+	if maxP < cur {
+		if n, ok := stepTo(cur, maxP, req.Factor, 1, maxP); ok && n < cur {
+			return slurm.Decision{Action: slurm.Shrink, NewNodes: n}
+		}
+		return slurm.Decision{Action: slurm.NoAction}
+	}
+
+	// --- Preferred number of nodes (Algorithm 1 lines 1-12).
+	if req.Preferred > 0 {
+		if req.Preferred == cur {
+			// §IV-2: "If the desired size corresponds to the current
+			// size, the RMS will return 'no action'" — except for a
+			// lone job, which is free to take the maximum (line 2).
+			if len(pending) == 0 {
+				if n, ok := maxProcsTo(cur, maxP, req.Factor, maxP, free); ok {
+					return slurm.Decision{Action: slurm.Expand, NewNodes: n}
+				}
+			}
+			return slurm.Decision{Action: slurm.NoAction}
+		}
+		if len(pending) == 0 {
+			// Line 2: the only job in the system — take the maximum.
+			if n, ok := maxProcsTo(cur, maxP, req.Factor, maxP, free); ok {
+				return slurm.Decision{Action: slurm.Expand, NewNodes: n}
+			}
+			return slurm.Decision{Action: slurm.NoAction}
+		}
+		if req.Preferred > cur {
+			// Line 6: can I expand to preferred?
+			if n, ok := maxProcsTo(cur, req.Preferred, req.Factor, maxP, free); ok {
+				return slurm.Decision{Action: slurm.Expand, NewNodes: n}
+			}
+		} else {
+			// Line 10: can I shrink to preferred?
+			if n, ok := stepTo(cur, req.Preferred, req.Factor, minP, maxP); ok && n < cur {
+				return slurm.Decision{Action: slurm.Shrink, NewNodes: n}
+			}
+		}
+		// Fall through to wide optimization (line 13).
+	}
+
+	// --- Wide optimization (lines 13-24).
+	if p.DisableWide {
+		return slurm.Decision{Action: slurm.NoAction}
+	}
+	if len(pending) > 0 {
+		// Line 15: can another job run with (some of) my resources?
+		for _, t := range pending {
+			if t.ID == job.ID {
+				continue
+			}
+			tn := need(t)
+			if tn <= free {
+				continue // it can already run; the scheduler will start it
+			}
+			if n, ok := minProcsRun(cur, req.Factor, minP, free, tn); ok {
+				return slurm.Decision{Action: slurm.Shrink, NewNodes: n, TargetJob: t.ID}
+			}
+		}
+		// Line 20: no pending job can be helped — grow toward the max.
+		if n, ok := maxProcsTo(cur, maxP, req.Factor, maxP, free); ok {
+			return slurm.Decision{Action: slurm.Expand, NewNodes: n}
+		}
+		return slurm.Decision{Action: slurm.NoAction}
+	}
+	// Line 22: empty queue — expand to the job maximum.
+	if n, ok := maxProcsTo(cur, maxP, req.Factor, maxP, free); ok {
+		return slurm.Decision{Action: slurm.Expand, NewNodes: n}
+	}
+	return slurm.Decision{Action: slurm.NoAction}
+}

@@ -1,0 +1,260 @@
+package selectdmr
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+)
+
+// harness builds a controller with the Algorithm 1 policy, a running job
+// holding `hold` nodes, and pending jobs of the given sizes.
+type harness struct {
+	cl   *platform.Cluster
+	ctl  *slurm.Controller
+	job  *slurm.Job
+	pend []*slurm.Job
+}
+
+func newHarness(t *testing.T, total, hold int, pendingSizes ...int) *harness {
+	t.Helper()
+	cfg := platform.Marenostrum3()
+	cfg.Nodes = total
+	cl := platform.New(cfg)
+	scfg := slurm.DefaultConfig()
+	scfg.Policy = New()
+	ctl := slurm.NewController(cl, scfg)
+	h := &harness{cl: cl, ctl: ctl}
+
+	h.job = &slurm.Job{Name: "app", ReqNodes: hold, TimeLimit: sim.Hour, Flexible: true}
+	h.job.Launch = func(j *slurm.Job, _ []*platform.Node) {
+		cl.K.Spawn("app", func(p *sim.Proc) {
+			p.Sleep(sim.Hour) // holds nodes while we probe the policy
+		})
+	}
+	ctl.Submit(h.job)
+	for i, n := range pendingSizes {
+		pj := &slurm.Job{Name: "pend", ReqNodes: n, TimeLimit: sim.Hour}
+		_ = i
+		ctl.Submit(pj)
+		h.pend = append(h.pend, pj)
+	}
+	// Let the scheduler start the holder (and any pending that fits).
+	cl.K.RunUntil(2 * sim.Second)
+	if h.job.State != slurm.StateRunning {
+		t.Fatalf("holder job not running (state %v)", h.job.State)
+	}
+	return h
+}
+
+func (h *harness) decide(req slurm.ResizeRequest) slurm.Decision {
+	return h.ctl.Reconfig(h.job, req)
+}
+
+func TestPreferredShrink(t *testing.T) {
+	// Job holds 32 of 65; a pending job ensures the preferred branch is
+	// taken rather than the lone-job expansion.
+	h := newHarness(t, 65, 32, 64)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 32, Factor: 2, Preferred: 8})
+	if d.Action != slurm.Shrink || d.NewNodes != 8 {
+		t.Fatalf("decision %+v, want shrink to 8", d)
+	}
+}
+
+func TestPreferredExpandWhenFree(t *testing.T) {
+	h := newHarness(t, 65, 4, 64) // 61 free, pending too big to start
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 32, Factor: 2, Preferred: 8})
+	if d.Action != slurm.Expand || d.NewNodes != 8 {
+		t.Fatalf("decision %+v, want expand to 8", d)
+	}
+}
+
+func TestPreferredExpandPartialStep(t *testing.T) {
+	// Job holds 4 of 8, preferred 16: only the 4→8 step is affordable
+	// with 4 free nodes, so max_procs_to(preferred) grants 8.
+	h := newHarness(t, 8, 4, 60)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 32, Factor: 2, Preferred: 16})
+	if d.Action != slurm.Expand || d.NewNodes != 8 {
+		t.Fatalf("decision %+v, want expand to 8 (partial step toward preferred)", d)
+	}
+}
+
+func TestPreferredExpandClampedByFree(t *testing.T) {
+	// Job holds 4 of 7: 3 free nodes cannot afford the 4→8 step; the
+	// wide path cannot help the oversized pending job either → no action.
+	h := newHarness(t, 7, 4, 60)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 32, Factor: 2, Preferred: 16})
+	if d.Action != slurm.NoAction {
+		t.Fatalf("decision %+v, want no-action", d)
+	}
+}
+
+func TestLoneJobExpandsToMax(t *testing.T) {
+	// Preferred is set but the queue is empty: Algorithm 1 line 2 grabs
+	// the job maximum instead.
+	h := newHarness(t, 65, 8)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 32, Factor: 2, Preferred: 8})
+	// Preferred == current → preferred branch skipped; empty queue on
+	// the wide path also expands to max. Either way: 32.
+	if d.Action != slurm.Expand || d.NewNodes != 32 {
+		t.Fatalf("decision %+v, want expand to 32", d)
+	}
+}
+
+func TestLoneJobPreferredDiffersStillMax(t *testing.T) {
+	h := newHarness(t, 65, 8)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 32, Factor: 2, Preferred: 16})
+	if d.Action != slurm.Expand || d.NewNodes != 32 {
+		t.Fatalf("decision %+v, want expand to 32 (line 2)", d)
+	}
+}
+
+func TestWideShrinkAdmitsQueuedJob(t *testing.T) {
+	// 16 of 16 held; pending job needs 8. Shrinking 16→8 releases 8.
+	h := newHarness(t, 16, 16, 8)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 16, Factor: 2})
+	if d.Action != slurm.Shrink || d.NewNodes != 8 {
+		t.Fatalf("decision %+v, want shrink to 8", d)
+	}
+	if d.TargetJob != h.pend[0].ID {
+		t.Fatalf("target job %d, want %d", d.TargetJob, h.pend[0].ID)
+	}
+	if !h.pend[0].Boosted {
+		t.Fatal("target job was not boosted to max priority")
+	}
+}
+
+func TestWideShrinkIsMinimal(t *testing.T) {
+	// 16 held, 4 free, pending needs 8: shrinking to 8 gives 4+8=12 ≥ 8.
+	// A deeper shrink to 4 is unnecessary.
+	h := newHarness(t, 20, 16, 8)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 16, Factor: 2})
+	if d.Action != slurm.Shrink || d.NewNodes != 8 {
+		t.Fatalf("decision %+v, want minimal shrink to 8", d)
+	}
+}
+
+func TestWideNoShrinkWhenHopeless(t *testing.T) {
+	// Fig. 12's situation: job at 8, pending needs 32, free 25 — even
+	// shrinking to 2 yields 31 < 32, so the job keeps its nodes; since
+	// the pending job also blocks expansion-fit, expansion toward 16
+	// IS possible (free 25 ≥ 8)... Algorithm 1 line 19-21 expands when
+	// no pending job can be helped.
+	h := newHarness(t, 65, 8, 32)
+	// Make the picture match Fig. 12: another 32 nodes held by a rigid job.
+	rigid := &slurm.Job{Name: "rigid", ReqNodes: 32, TimeLimit: sim.Hour}
+	rigid.Launch = func(j *slurm.Job, _ []*platform.Node) {
+		h.cl.K.Spawn("rigid", func(p *sim.Proc) { p.Sleep(sim.Hour) })
+	}
+	h.ctl.Submit(rigid)
+	h.cl.K.RunUntil(h.cl.K.Now() + 2*sim.Second)
+	// Now: 8 + 32 held, 25 free, pending wants 32.
+	if h.ctl.FreeNodes() != 25 {
+		t.Fatalf("free %d, want 25", h.ctl.FreeNodes())
+	}
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 16, Factor: 2})
+	if d.Action != slurm.Expand || d.NewNodes != 16 {
+		t.Fatalf("decision %+v, want expand to 16 (line 20)", d)
+	}
+}
+
+func TestEmptyQueueExpandToJobMax(t *testing.T) {
+	h := newHarness(t, 65, 4)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 1, MaxProcs: 16, Factor: 2})
+	if d.Action != slurm.Expand || d.NewNodes != 16 {
+		t.Fatalf("decision %+v, want expand to 16 (line 23)", d)
+	}
+}
+
+func TestNoActionAtMaxAloneIsStable(t *testing.T) {
+	h := newHarness(t, 65, 32)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 32, Factor: 2, Preferred: 8})
+	// Preferred < cur with empty queue: line 2 applies (lone job) and
+	// wants the max, but the job is already there → no action.
+	if d.Action != slurm.NoAction {
+		t.Fatalf("decision %+v, want no-action at max", d)
+	}
+}
+
+func TestFactorChainRespectedOnShrink(t *testing.T) {
+	// cur=12, factor=2, preferred=3: chain 12→6→3.
+	h := newHarness(t, 20, 12, 20)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 3, MaxProcs: 12, Factor: 2, Preferred: 3})
+	if d.Action != slurm.Shrink || d.NewNodes != 3 {
+		t.Fatalf("decision %+v, want shrink to 3", d)
+	}
+}
+
+func TestMinBoundStopsShrink(t *testing.T) {
+	h := newHarness(t, 20, 8, 20)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 8, MaxProcs: 16, Factor: 2, Preferred: 2})
+	// Preferred below min: shrink chain cannot go under MinProcs=8, and
+	// the pending job (20 > 12 free + 0 releasable) cannot be helped;
+	// expansion 8→16 needs 8 free, have 12 → expand.
+	if d.Action != slurm.Expand || d.NewNodes != 16 {
+		t.Fatalf("decision %+v", d)
+	}
+}
+
+func TestRequestActionForcedExpand(t *testing.T) {
+	// §IV-1: setting the minimum above the current allocation strongly
+	// suggests an expansion; nodes are free, so it is granted.
+	h := newHarness(t, 65, 4, 64)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 16, MaxProcs: 32, Factor: 2})
+	if d.Action != slurm.Expand || d.NewNodes != 16 {
+		t.Fatalf("decision %+v, want forced expand to 16", d)
+	}
+}
+
+func TestRequestActionForcedExpandDenied(t *testing.T) {
+	// The suggestion is not binding: without free nodes Slurm denies it.
+	h := newHarness(t, 8, 4, 60)
+	rigid := &slurm.Job{Name: "blocker", ReqNodes: 4, TimeLimit: sim.Hour}
+	rigid.Launch = func(j *slurm.Job, _ []*platform.Node) {
+		h.cl.K.Spawn("blocker", func(p *sim.Proc) { p.Sleep(sim.Hour) })
+	}
+	h.ctl.Submit(rigid)
+	h.cl.K.RunUntil(h.cl.K.Now() + 2*sim.Second)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 8, MaxProcs: 16, Factor: 2})
+	if d.Action != slurm.NoAction {
+		t.Fatalf("decision %+v, want denial with zero free nodes", d)
+	}
+}
+
+func TestRequestActionForcedShrink(t *testing.T) {
+	// Setting the maximum below the current allocation requests a
+	// shrink regardless of queue state.
+	h := newHarness(t, 65, 16)
+	d := h.decide(slurm.ResizeRequest{MinProcs: 2, MaxProcs: 4, Factor: 2})
+	if d.Action != slurm.Shrink || d.NewNodes != 4 {
+		t.Fatalf("decision %+v, want forced shrink to 4", d)
+	}
+}
+
+func TestChainHelpers(t *testing.T) {
+	if got := chainUp(8, 2, 32); got != 32 {
+		t.Errorf("chainUp(8,2,32) = %d", got)
+	}
+	if got := chainUp(8, 2, 31); got != 16 {
+		t.Errorf("chainUp(8,2,31) = %d", got)
+	}
+	if got := chainDown(32, 2, 8); got != 8 {
+		t.Errorf("chainDown(32,2,8) = %d", got)
+	}
+	if got := chainDown(12, 2, 1); got != 3 {
+		t.Errorf("chainDown(12,2,1) = %d (12→6→3, 3 is odd)", got)
+	}
+	if got := chainDown(7, 2, 1); got != 7 {
+		t.Errorf("chainDown(7,2,1) = %d, want no step", got)
+	}
+	if n, ok := maxProcsTo(8, 32, 2, 32, 10); !ok || n != 16 {
+		t.Errorf("maxProcsTo(8→32, free 10) = %d,%v; want 16 (24 extra nodes unaffordable)", n, ok)
+	}
+	if n, ok := minProcsRun(16, 2, 2, 4, 8); !ok || n != 8 {
+		t.Errorf("minProcsRun = %d,%v; want 8", n, ok)
+	}
+	if _, ok := minProcsRun(4, 2, 2, 0, 32); ok {
+		t.Error("minProcsRun should fail when even the deepest shrink cannot admit the target")
+	}
+}

@@ -1,0 +1,21 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Workload generation is deterministic: the same seed always produces
+// the same job stream.
+func ExampleGenerate() {
+	specs := workload.Generate(workload.Preliminary(3, 1, 42))
+	for _, s := range specs {
+		fmt.Printf("job %d: %v, %d nodes, runtime %.0fs, arrives %.1fs\n",
+			s.Index, s.Class, s.Nodes, s.Runtime.Seconds(), s.Arrival.Seconds())
+	}
+	// Output:
+	// job 0: FS, 1 nodes, runtime 102s, arrives 5.0s
+	// job 1: FS, 4 nodes, runtime 233s, arrives 13.5s
+	// job 2: FS, 4 nodes, runtime 233s, arrives 29.3s
+}

@@ -1,0 +1,183 @@
+// Package workload generates job streams with the statistical model of
+// Feitelson [6] that the paper uses for its workloads (§VII-C): job sizes
+// from a discrete distribution emphasizing small jobs and powers of two,
+// runtimes from a size-correlated hyperexponential distribution, Poisson
+// inter-arrival times, and geometric repeated runs. Generation is fully
+// deterministic for a given seed.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+// Spec describes one job submission.
+type Spec struct {
+	Index    int
+	Class    apps.Class
+	Nodes    int      // requested (submitted) node count
+	Runtime  sim.Time // expected runtime at the submitted size
+	Arrival  sim.Time // absolute submission time
+	Flexible bool     // participates in DMR reconfiguration
+}
+
+// Params tunes the generator.
+type Params struct {
+	Jobs        int
+	MaxNodes    int      // job-size cap ("job size" parameter)
+	MeanArrival sim.Time // Poisson inter-arrival mean ("arrival")
+	Iterations  int      // app iterations, bounds the per-step runtime
+	MaxStepTime sim.Time // cap on runtime/iterations (§VIII-A: 60 s)
+	MeanRuntime sim.Time // base of the hyperexponential runtime
+	RepeatProb  float64  // geometric repeated-run probability
+	FlexRatio   float64  // probability that a job is flexible
+	Classes     []apps.Class
+	Seed        int64
+}
+
+// Preliminary returns the §VIII testbed parameters: FS jobs of up to 20
+// nodes, 25 steps of at most 60 s, 10 s mean arrival.
+func Preliminary(jobs int, flexRatio float64, seed int64) Params {
+	return Params{
+		Jobs:        jobs,
+		MaxNodes:    20,
+		MeanArrival: 10 * sim.Second,
+		Iterations:  25,
+		MaxStepTime: 60 * sim.Second,
+		MeanRuntime: 500 * sim.Second,
+		RepeatProb:  0.25,
+		FlexRatio:   flexRatio,
+		Classes:     []apps.Class{apps.ClassFS},
+		Seed:        seed,
+	}
+}
+
+// Realistic returns the §IX testbed parameters: CG, Jacobi and N-body in
+// equal shares, each submitted at its Table I maximum, with Feitelson
+// inter-arrivals.
+func Realistic(jobs int, seed int64) Params {
+	return Params{
+		Jobs:        jobs,
+		MeanArrival: 60 * sim.Second,
+		RepeatProb:  0,
+		FlexRatio:   1,
+		Classes:     []apps.Class{apps.ClassCG, apps.ClassJacobi, apps.ClassNBody},
+		Seed:        seed,
+	}
+}
+
+// sampleSize draws a job size: log-uniform over [1, max] with a strong
+// attraction to powers of two and a bias toward small jobs, following
+// the shape of Feitelson's discrete size distribution.
+func sampleSize(rng *rand.Rand, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	if rng.Float64() < 0.25 {
+		return 1 // serial jobs are common in the logs the model fits
+	}
+	u := rng.Float64() * math.Log2(float64(max))
+	n := int(math.Round(math.Pow(2, u)))
+	if rng.Float64() < 0.75 {
+		// Snap to the nearest power of two.
+		k := math.Round(math.Log2(float64(n)))
+		n = int(math.Pow(2, k))
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// sampleRuntime draws a runtime from a two-stage hyperexponential whose
+// long-tail probability grows with the job size (the model's
+// size-runtime correlation), capped so one step never exceeds
+// MaxStepTime.
+func sampleRuntime(rng *rand.Rand, p Params, nodes int) sim.Time {
+	pLong := 0.2
+	if p.MaxNodes > 1 {
+		pLong += 0.3 * math.Log2(float64(nodes)) / math.Log2(float64(p.MaxNodes))
+	}
+	mean := float64(p.MeanRuntime)
+	if rng.Float64() < pLong {
+		mean *= 3
+	} else {
+		mean *= 0.6
+	}
+	r := sim.Time(rng.ExpFloat64() * mean)
+	minRuntime := sim.Time(p.Iterations) * sim.Second // at least 1 s/step
+	maxRuntime := sim.Time(p.Iterations) * p.MaxStepTime
+	if r < minRuntime {
+		r = minRuntime
+	}
+	if maxRuntime > 0 && r > maxRuntime {
+		r = maxRuntime
+	}
+	return r
+}
+
+// Generate produces the deterministic job stream for p.
+func Generate(p Params) []Spec {
+	rng := rand.New(rand.NewSource(p.Seed))
+	specs := make([]Spec, 0, p.Jobs)
+	var at sim.Time
+	classIdx := 0
+	for len(specs) < p.Jobs {
+		at += sim.Time(rng.ExpFloat64() * float64(p.MeanArrival))
+		class := p.Classes[classIdx%len(p.Classes)]
+		if len(p.Classes) > 1 {
+			class = p.Classes[rng.Intn(len(p.Classes))]
+		}
+		classIdx++
+
+		var nodes int
+		var runtime sim.Time
+		if class == apps.ClassFS {
+			nodes = sampleSize(rng, p.MaxNodes)
+			runtime = sampleRuntime(rng, p, nodes)
+		} else {
+			// Realistic jobs submit at their Table I maximum (§IX-A)
+			// and run for their class's calibrated duration.
+			cfg := apps.ForClass(class)
+			nodes = cfg.MaxProcs
+			runtime = sim.Time(cfg.Iterations) * cfg.Model.StepTime(nodes)
+		}
+		flexible := rng.Float64() < p.FlexRatio
+
+		repeats := 1
+		for p.RepeatProb > 0 && rng.Float64() < p.RepeatProb && repeats < 5 {
+			repeats++
+		}
+		for rep := 0; rep < repeats && len(specs) < p.Jobs; rep++ {
+			if rep > 0 {
+				at += sim.Time(rng.ExpFloat64() * float64(p.MeanArrival))
+			}
+			specs = append(specs, Spec{
+				Index:    len(specs),
+				Class:    class,
+				Nodes:    nodes,
+				Runtime:  runtime,
+				Arrival:  at,
+				Flexible: flexible,
+			})
+		}
+	}
+	return specs
+}
+
+// SetFlexible returns a copy of specs with every job's flexibility set
+// to flex (used to run the same workload in fixed and flexible modes).
+func SetFlexible(specs []Spec, flex bool) []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	for i := range out {
+		out[i].Flexible = flex
+	}
+	return out
+}

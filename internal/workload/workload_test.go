@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Preliminary(100, 1, 42))
+	b := Generate(Preliminary(100, 1, 42))
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d differs between identical seeds", i)
+		}
+	}
+	c := Generate(Preliminary(100, 1, 43))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestPreliminaryBounds(t *testing.T) {
+	specs := Generate(Preliminary(400, 1, 7))
+	var prev sim.Time
+	for _, s := range specs {
+		if s.Nodes < 1 || s.Nodes > 20 {
+			t.Fatalf("job %d size %d out of [1,20]", s.Index, s.Nodes)
+		}
+		if s.Class != apps.ClassFS {
+			t.Fatalf("preliminary workload must be FS-only, got %v", s.Class)
+		}
+		step := s.Runtime / 25
+		if step > 60*sim.Second {
+			t.Fatalf("job %d step time %v exceeds the 60 s cap", s.Index, step)
+		}
+		if s.Arrival < prev {
+			t.Fatalf("arrivals not monotone at job %d", s.Index)
+		}
+		prev = s.Arrival
+		if !s.Flexible {
+			t.Fatalf("flex ratio 1 produced a fixed job")
+		}
+	}
+}
+
+func TestArrivalMeanApproximatesPoisson(t *testing.T) {
+	specs := Generate(Preliminary(2000, 1, 99))
+	mean := specs[len(specs)-1].Arrival.Seconds() / float64(len(specs)-1)
+	// Repeated runs reuse the same arrival draw chain; stay tolerant.
+	if mean < 5 || mean > 20 {
+		t.Fatalf("mean inter-arrival %.1f s, configured 10 s", mean)
+	}
+}
+
+func TestSizeDistributionShape(t *testing.T) {
+	specs := Generate(Preliminary(4000, 1, 3))
+	pow2, small := 0, 0
+	for _, s := range specs {
+		if s.Nodes&(s.Nodes-1) == 0 {
+			pow2++
+		}
+		if s.Nodes <= 4 {
+			small++
+		}
+	}
+	if frac := float64(pow2) / float64(len(specs)); frac < 0.6 {
+		t.Fatalf("only %.0f%% of sizes are powers of two", frac*100)
+	}
+	if frac := float64(small) / float64(len(specs)); frac < 0.3 {
+		t.Fatalf("only %.0f%% of jobs are small (<=4 nodes)", frac*100)
+	}
+}
+
+func TestRuntimeCorrelatesWithSize(t *testing.T) {
+	specs := Generate(Preliminary(6000, 1, 5))
+	var sumSmall, sumBig, nSmall, nBig float64
+	for _, s := range specs {
+		if s.Nodes <= 2 {
+			sumSmall += s.Runtime.Seconds()
+			nSmall++
+		} else if s.Nodes >= 16 {
+			sumBig += s.Runtime.Seconds()
+			nBig++
+		}
+	}
+	if nSmall == 0 || nBig == 0 {
+		t.Fatal("degenerate sample")
+	}
+	if sumBig/nBig <= sumSmall/nSmall {
+		t.Fatalf("big jobs (%.0fs avg) should run longer than small jobs (%.0fs avg)",
+			sumBig/nBig, sumSmall/nSmall)
+	}
+}
+
+func TestFlexRatioRespected(t *testing.T) {
+	for _, ratio := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		specs := Generate(Preliminary(2000, ratio, 11))
+		flex := 0
+		for _, s := range specs {
+			if s.Flexible {
+				flex++
+			}
+		}
+		got := float64(flex) / float64(len(specs))
+		if math.Abs(got-ratio) > 0.06 {
+			t.Fatalf("ratio %.2f produced %.2f flexible", ratio, got)
+		}
+	}
+}
+
+func TestRealisticClassesAndSizes(t *testing.T) {
+	specs := Generate(Realistic(600, 1))
+	counts := map[apps.Class]int{}
+	for _, s := range specs {
+		counts[s.Class]++
+		cfg := apps.ForClass(s.Class)
+		if s.Nodes != cfg.MaxProcs {
+			t.Fatalf("%v submitted at %d, want class max %d", s.Class, s.Nodes, cfg.MaxProcs)
+		}
+	}
+	for _, class := range []apps.Class{apps.ClassCG, apps.ClassJacobi, apps.ClassNBody} {
+		frac := float64(counts[class]) / float64(len(specs))
+		if frac < 0.25 || frac > 0.42 {
+			t.Fatalf("class %v share %.2f, want ~1/3", class, frac)
+		}
+	}
+}
+
+func TestSetFlexible(t *testing.T) {
+	specs := Generate(Preliminary(50, 0.5, 2))
+	fixed := SetFlexible(specs, false)
+	flex := SetFlexible(specs, true)
+	for i := range specs {
+		if fixed[i].Flexible || !flex[i].Flexible {
+			t.Fatal("SetFlexible failed")
+		}
+		if fixed[i].Nodes != specs[i].Nodes {
+			t.Fatal("SetFlexible altered other fields")
+		}
+	}
+}
+
+func TestGenerateQuickInvariants(t *testing.T) {
+	f := func(jobs uint8, seed int64) bool {
+		n := int(jobs%200) + 1
+		specs := Generate(Preliminary(n, 0.5, seed))
+		if len(specs) != n {
+			return false
+		}
+		var prev sim.Time
+		for _, s := range specs {
+			if s.Nodes < 1 || s.Nodes > 20 || s.Runtime <= 0 || s.Arrival < prev {
+				return false
+			}
+			prev = s.Arrival
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
