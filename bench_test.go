@@ -246,6 +246,22 @@ func BenchmarkAblationPolicyModes(b *testing.B) {
 	}
 }
 
+// BenchmarkEnergyRigidVsMalleable runs the energy subsystem's headline
+// experiment: total cluster energy (with idle-node sleep) for rigid,
+// malleable and energy-aware-policy runs of the same workload. Reports
+// the energy saved relative to rigid.
+func BenchmarkEnergyRigidVsMalleable(b *testing.B) {
+	ns := sizes([]int{20}, experiments.EnergySizes)
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.Energy(ns, experiments.DefaultSeed) {
+			suffix := itoa(r.Jobs) + "j"
+			b.ReportMetric(r.RigidKJ(), "rigid-kJ-"+suffix)
+			b.ReportMetric(r.MalleableGainPct(), "mallsave%-"+suffix)
+			b.ReportMetric(r.AwareGainPct(), "awaresave%-"+suffix)
+		}
+	}
+}
+
 func metrics2pct(c experiments.Comparison) float64 {
 	f := c.Fixed.AvgCompletion.Seconds()
 	x := c.Flexible.AvgCompletion.Seconds()

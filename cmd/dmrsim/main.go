@@ -5,6 +5,7 @@
 //
 //	dmrsim [-jobs N] [-nodes N] [-realistic] [-fixed] [-async] [-moldable]
 //	       [-period s] [-seed N] [-trace] [-events]
+//	       [-energy] [-sleep s] [-energypolicy]
 package main
 
 import (
@@ -31,6 +32,9 @@ func main() {
 	events := flag.Bool("events", false, "print the controller event log")
 	watch := flag.Float64("watch", 0, "print squeue-style status every N virtual seconds")
 	acct := flag.Bool("acct", false, "print the accounting records as CSV")
+	withEnergy := flag.Bool("energy", false, "enable power/energy accounting (energy_j in -acct)")
+	sleepAfter := flag.Float64("sleep", 0, "idle seconds before free nodes sleep (implies -energy)")
+	energyPolicy := flag.Bool("energypolicy", false, "energy-aware DMR policy instead of Algorithm 1 (implies -energy)")
 	flag.Parse()
 
 	var params workload.Params
@@ -48,6 +52,11 @@ func main() {
 	cfg.MoldableSubmissions = *moldable
 	if *period >= 0 {
 		cfg.SchedPeriod = sim.Seconds(*period)
+	}
+	if *withEnergy || *sleepAfter > 0 || *energyPolicy {
+		cfg.Energy = true
+		cfg.IdleSleep = sim.Seconds(*sleepAfter)
+		cfg.EnergyPolicy = *energyPolicy
 	}
 
 	specs := workload.Generate(params)
@@ -79,6 +88,11 @@ func main() {
 	fmt.Printf("  avg completion time:  %10.0f s\n", res.AvgCompletion.Seconds())
 	fmt.Printf("  resource utilization: %10.2f %%\n", res.UtilRate)
 	fmt.Printf("  reconfigurations:     %10d\n", res.Resizes)
+	if cfg.Energy {
+		fmt.Printf("  cluster energy:       %10.0f kJ\n", res.EnergyJ/1e3)
+		fmt.Printf("  avg cluster draw:     %10.0f W\n", res.AvgPowerW)
+		fmt.Printf("  node wake-ups:        %10d\n", sys.Energy.Wakes())
+	}
 
 	if *trace {
 		fmt.Print(metrics.AsciiChart("allocated nodes", res.Trace,

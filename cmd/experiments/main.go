@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations] [-quick] [-seed N]
+//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy] [-quick] [-seed N]
+//
+// The energy experiment compares total cluster energy for rigid,
+// malleable (Algorithm 1) and energy-aware-policy runs of the same
+// seeded workload, with per-node power accounting and idle-node sleep.
 package main
 
 import (
@@ -33,11 +37,13 @@ func main() {
 	realSizes := experiments.RealisticSizes
 	fig8Jobs, fig9Sizes := 100, experiments.Fig9Sizes
 	ablJobs := 50
+	energySizes := experiments.EnergySizes
 	if *quick {
 		prelimSizes = []int{10, 25, 50}
 		realSizes = []int{20, 50}
 		fig8Jobs, fig9Sizes = 30, []int{10, 25}
 		ablJobs = 20
+		energySizes = []int{20, 50}
 	}
 
 	run := func(name string, fn func()) {
@@ -85,6 +91,12 @@ func main() {
 		writeComparisonSVG("fig11", "Figure 11: average job waiting time", cs, true)
 	}
 	run("fig12", func() { evolution("Figure 12 (50-job realistic workload)", experiments.EvoFig12, *seed, "fig12") })
+	run("energy", func() {
+		rows := experiments.Energy(energySizes, *seed)
+		fmt.Print(experiments.FormatEnergy(rows))
+		fmt.Println()
+		writeEnergyOutputs(rows)
+	})
 	run("ablations", func() {
 		fmt.Print(experiments.FormatAblation("Ablation: moldable submissions (paper §X future work)", experiments.Moldable(ablJobs, *seed)))
 		fmt.Println()
@@ -176,6 +188,53 @@ func writeComparisonSVG(name, title string, cs []experiments.Comparison, waits b
 		return metrics.WriteBarsSVG(f, title, yLabel,
 			[]string{"fixed", "flexible"}, []string{"#1f77b4", "#d62728"}, groups)
 	})
+}
+
+// writeEnergyOutputs dumps the energy comparison as CSV power traces and
+// SVG charts (energy bars plus power-draw evolutions) when requested.
+func writeEnergyOutputs(rows []experiments.EnergyRow) {
+	if *csvDir != "" {
+		for _, r := range rows {
+			name := fmt.Sprintf("energy_%dj", r.Jobs)
+			for suffix, res := range map[string]*metrics.WorkloadResult{
+				"rigid": r.Rigid, "malleable": r.Malleable, "aware": r.Aware,
+			} {
+				writeFile(filepath.Join(*csvDir, name+"_"+suffix+"_power.csv"), func(f *os.File) error {
+					return metrics.WritePowerCSV(f, res.Power)
+				})
+			}
+		}
+	}
+	if *svgDir == "" {
+		return
+	}
+	var groups []metrics.BarGroup
+	for _, r := range rows {
+		groups = append(groups, metrics.BarGroup{
+			Label:  fmt.Sprintf("%d jobs", r.Jobs),
+			Values: []float64{r.Rigid.EnergyJ / 1e3, r.Malleable.EnergyJ / 1e3, r.Aware.EnergyJ / 1e3},
+		})
+	}
+	writeFile(filepath.Join(*svgDir, "energy.svg"), func(f *os.File) error {
+		return metrics.WriteBarsSVG(f, "Total cluster energy per workload", "energy (kJ)",
+			[]string{"rigid", "malleable", "energy-aware"},
+			[]string{"#1f77b4", "#d62728", "#2ca02c"}, groups)
+	})
+	for _, r := range rows {
+		end := r.Rigid.Makespan
+		for _, res := range []*metrics.WorkloadResult{r.Malleable, r.Aware} {
+			if res.Makespan > end {
+				end = res.Makespan
+			}
+		}
+		name := fmt.Sprintf("energy_%dj_power.svg", r.Jobs)
+		writeFile(filepath.Join(*svgDir, name), func(f *os.File) error {
+			return metrics.WritePowerSVG(f, fmt.Sprintf("Cluster power draw (%d jobs)", r.Jobs), end,
+				[]string{"rigid", "malleable", "energy-aware"},
+				[]string{"#1f77b4", "#d62728", "#2ca02c"},
+				[]*metrics.PowerTrace{r.Rigid.Power, r.Malleable.Power, r.Aware.Power})
+		})
+	}
 }
 
 // writeFile creates path and runs fn on it.

@@ -3,9 +3,12 @@
 // ICPP 2017): a dynamic MPI-malleability framework in which the
 // programming-model runtime (internal/nanos) reconfigures the number of
 // ranks of running jobs in cooperation with the workload manager
-// (internal/slurm, policy in internal/slurm/selectdmr), over an
+// (internal/slurm, policies in internal/slurm/selectdmr), over an
 // in-memory MPI substrate (internal/mpi) on a deterministic
-// discrete-event simulation kernel (internal/sim).
+// discrete-event simulation kernel (internal/sim). The energy subsystem
+// (internal/energy) meters per-node power states and attributes per-job
+// energy, quantifying the paper's claim that malleability saves energy
+// by letting freed nodes power down.
 //
 // The root package hosts the benchmark suite (bench_test.go): one
 // benchmark per table and figure of the paper's evaluation. See

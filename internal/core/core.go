@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
+	"repro/internal/energy"
 	"repro/internal/metrics"
 	"repro/internal/nanos"
 	"repro/internal/platform"
@@ -57,6 +58,20 @@ type Config struct {
 	// filesystem (checkpoint/restart style) instead of the in-memory
 	// offload path — the workload-scale version of Figure 1's baseline.
 	CRTransfer bool
+	// Energy attaches the power/energy accounting subsystem: per-node
+	// power-state metering, per-job attributed energy in the accounting
+	// records, and the EnergyJ/AvgPowerW workload measures.
+	Energy bool
+	// IdleSleep is the idle timeout after which free nodes drop to a
+	// sleep state (requires Energy; 0 keeps idle nodes powered on).
+	IdleSleep sim.Time
+	// SleepState selects the S-state idle nodes drop into (0 is the
+	// shallow suspend, deeper states draw less but wake slower).
+	SleepState int
+	// EnergyPolicy swaps Algorithm 1 for its energy-aware variant:
+	// shrink when the queue is empty so freed nodes sleep, expand only
+	// under dense arrivals.
+	EnergyPolicy bool
 }
 
 // DefaultConfig returns the standard experiment setup.
@@ -70,6 +85,8 @@ type System struct {
 	Cluster  *platform.Cluster
 	Ctl      *slurm.Controller
 	Recorder *metrics.Recorder
+	// Energy is the power accountant (nil unless Config.Energy).
+	Energy *energy.Accountant
 
 	jobs []*slurm.Job
 }
@@ -89,16 +106,27 @@ func NewSystem(cfg Config) *System {
 	cl := platform.New(pc)
 	scfg := slurm.DefaultConfig()
 	if cfg.Policy {
-		if cfg.PreferredOnlyPolicy {
+		switch {
+		case cfg.EnergyPolicy:
+			scfg.Policy = selectdmr.NewEnergyAware()
+		case cfg.PreferredOnlyPolicy:
 			scfg.Policy = selectdmr.NewPreferredOnly()
-		} else {
+		default:
 			scfg.Policy = selectdmr.New()
 		}
 	}
-	ctl := slurm.NewController(cl, scfg)
+	var acct *energy.Accountant
 	rec := &metrics.Recorder{}
+	if cfg.Energy {
+		acct = energy.New(cl.K, cl.PowerProfiles())
+		rec.AttachPower(acct) // before NewController: it may arm sleeps
+		scfg.Energy = acct
+		scfg.IdleSleep = cfg.IdleSleep
+		scfg.SleepState = cfg.SleepState
+	}
+	ctl := slurm.NewController(cl, scfg)
 	rec.Attach(ctl)
-	return &System{Cfg: cfg, Cluster: cl, Ctl: ctl, Recorder: rec}
+	return &System{Cfg: cfg, Cluster: cl, Ctl: ctl, Recorder: rec, Energy: acct}
 }
 
 // AppConfig maps a workload spec to its application configuration,
@@ -183,7 +211,16 @@ func (s *System) Run() *metrics.WorkloadResult {
 	if live := s.Cluster.K.LiveProcs(); len(live) != 0 {
 		panic(fmt.Sprintf("core: deadlocked processes after drain: %v", live))
 	}
-	return metrics.Collect(s.jobs, &s.Recorder.Trace)
+	res := metrics.Collect(s.jobs, &s.Recorder.Trace)
+	if s.Energy != nil {
+		// Energy is measured over [0, makespan] so fixed and flexible
+		// runs of different lengths compare their own workload windows;
+		// trailing sleep timers past the last job end are excluded.
+		res.Power = s.Recorder.PowerTrace
+		res.EnergyJ = res.Power.EnergyJoules(res.Makespan)
+		res.AvgPowerW = res.Power.AvgPowerW(res.Makespan)
+	}
+	return res
 }
 
 // Jobs returns the tracked jobs in submission order.

@@ -147,3 +147,33 @@ func TestUtilizationRateWithinBounds(t *testing.T) {
 		t.Fatalf("utilization %.2f%% out of range", res.UtilRate)
 	}
 }
+
+func TestEnergyWithDeepSleepCompletesAndMeters(t *testing.T) {
+	// Regression: flexible jobs expanding onto deep-sleeping nodes
+	// (30 s wake, longer than the runtime's 10 s expand timeout) used
+	// to crash the dance's abort path. The run must complete and carry
+	// consistent energy measures.
+	specs := workload.Generate(workload.Preliminary(10, 1, 7))
+	cfg := DefaultConfig()
+	cfg.Nodes = 20
+	cfg.Energy = true
+	cfg.IdleSleep = 30 * sim.Second
+	cfg.SleepState = 1 // deep sleep: 30 s wake latency
+	sys := NewSystem(cfg)
+	sys.SubmitAll(specs)
+	res := sys.Run()
+	if res.Jobs != 10 || res.Resizes == 0 {
+		t.Fatalf("jobs %d resizes %d", res.Jobs, res.Resizes)
+	}
+	if res.EnergyJ <= 0 || res.AvgPowerW <= 0 {
+		t.Fatalf("energy not metered: %+v", res)
+	}
+	if sys.Energy.Wakes() == 0 {
+		t.Fatal("deep sleep never exercised a wake")
+	}
+	// The attribution partition holds at the end of the run.
+	a := sys.Energy
+	if diff := a.AttributedJoules() + a.UnattributedJoules() - a.TotalJoules(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("attribution leak: %.6f J", diff)
+	}
+}

@@ -1,0 +1,263 @@
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeState is the power-relevant state of one node.
+type NodeState int
+
+// Node power states: powered-on idle, actively computing for a job, or
+// in a sleep state.
+const (
+	Idle NodeState = iota
+	Active
+	Sleeping
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case Idle:
+		return "IDLE"
+	case Active:
+		return "ACTIVE"
+	case Sleeping:
+		return "SLEEPING"
+	}
+	return "?"
+}
+
+// nodeMeter integrates one node's power draw. The integral is exact:
+// power is piecewise constant, and every transition first settles the
+// elapsed interval at the old draw.
+type nodeMeter struct {
+	profile Profile
+	state   NodeState
+	pstate  int // active P-state index
+	sstate  int // sleep S-state index while sleeping
+	jobID   int // job charged for the node's draw; 0 = unattributed
+	powerW  float64
+	lastT   sim.Time
+	joules  float64
+	wakes   int
+}
+
+// Accountant owns the cluster's energy ledger: per-node integrals,
+// per-job attributed energy, and the instantaneous total draw. All
+// methods must be called from simulation (kernel or process) context so
+// that k.Now() is meaningful.
+type Accountant struct {
+	k      *sim.Kernel
+	nodes  []nodeMeter
+	jobs   map[int]float64
+	totalW float64
+
+	// OnPowerSample, when set, observes the total draw after every
+	// power-state transition (metrics power trace).
+	OnPowerSample func(t sim.Time, totalW float64)
+}
+
+// New builds an accountant for len(profiles) nodes, all starting idle at
+// the kernel's current time. Invalid profiles panic: a misconfigured
+// power model would silently corrupt every downstream measurement.
+func New(k *sim.Kernel, profiles []Profile) *Accountant {
+	a := &Accountant{k: k, jobs: make(map[int]float64)}
+	for i, p := range profiles {
+		if err := p.Validate(); err != nil {
+			panic(fmt.Sprintf("energy: node %d: %v", i, err))
+		}
+		a.nodes = append(a.nodes, nodeMeter{profile: p, state: Idle, powerW: p.IdleW, lastT: k.Now()})
+		a.totalW += p.IdleW
+	}
+	return a
+}
+
+// Nodes returns how many nodes the accountant meters.
+func (a *Accountant) Nodes() int { return len(a.nodes) }
+
+// advance settles node i's integral up to now at its current draw.
+func (a *Accountant) advance(i int) {
+	m := &a.nodes[i]
+	now := a.k.Now()
+	if now > m.lastT {
+		j := m.powerW * (now - m.lastT).Seconds()
+		m.joules += j
+		if m.jobID != 0 {
+			a.jobs[m.jobID] += j
+		}
+	}
+	m.lastT = now
+}
+
+// setDraw finalizes a transition of node i to the given draw and
+// publishes the new cluster total.
+func (a *Accountant) setDraw(i int, w float64) {
+	m := &a.nodes[i]
+	a.totalW += w - m.powerW
+	m.powerW = w
+	if a.OnPowerSample != nil {
+		a.OnPowerSample(a.k.Now(), a.totalW)
+	}
+}
+
+// NodeActive marks node i allocated to jobID at P-state ps, returning
+// the wake latency the allocation pays (non-zero when the node was
+// sleeping). During the wake transition the node already draws active
+// power without doing useful work; the caller is expected to delay the
+// job's launch by the returned latency.
+func (a *Accountant) NodeActive(i, jobID, ps int) sim.Time {
+	a.advance(i)
+	m := &a.nodes[i]
+	var wake sim.Time
+	if m.state == Sleeping {
+		wake = m.profile.WakeLatency(m.sstate)
+		m.wakes++
+	}
+	m.state = Active
+	m.pstate = m.profile.clampP(ps)
+	m.jobID = jobID
+	a.setDraw(i, m.profile.ActiveW(m.pstate))
+	return wake
+}
+
+// NodeIdle marks node i released: powered on, no job, no attribution.
+func (a *Accountant) NodeIdle(i int) {
+	a.advance(i)
+	m := &a.nodes[i]
+	m.state = Idle
+	m.jobID = 0
+	a.setDraw(i, m.profile.IdleW)
+}
+
+// NodeSleep drops an idle node into S-state ss. Ignored unless the node
+// is idle: an allocated node cannot sleep, and a sleeping node stays in
+// its state (re-entry would reset the deeper-sleep ladder).
+func (a *Accountant) NodeSleep(i, ss int) {
+	m := &a.nodes[i]
+	if m.state != Idle {
+		return
+	}
+	a.advance(i)
+	m.state = Sleeping
+	m.sstate = m.profile.clampS(ss)
+	a.setDraw(i, m.profile.SleepW(m.sstate))
+}
+
+// WakeIdle wakes a sleeping node back to powered-on idle without an
+// allocation (the admin drain path: maintenance wants the node up).
+// Returns the wake latency paid; no-op for nodes that are not sleeping.
+func (a *Accountant) WakeIdle(i int) sim.Time {
+	m := &a.nodes[i]
+	if m.state != Sleeping {
+		return 0
+	}
+	a.advance(i)
+	wake := m.profile.WakeLatency(m.sstate)
+	m.wakes++
+	m.state = Idle
+	m.jobID = 0
+	a.setDraw(i, m.profile.IdleW)
+	return wake
+}
+
+// Reattribute moves node i's ongoing draw to a different job without a
+// power-state change — the expand dance parks nodes on a resizer job and
+// later grafts them onto the target job.
+func (a *Accountant) Reattribute(i, jobID int) {
+	a.advance(i)
+	a.nodes[i].jobID = jobID
+}
+
+// SetPState moves an active node to P-state ps (DVFS step).
+func (a *Accountant) SetPState(i, ps int) {
+	m := &a.nodes[i]
+	if m.state != Active {
+		return
+	}
+	a.advance(i)
+	m.pstate = m.profile.clampP(ps)
+	a.setDraw(i, m.profile.ActiveW(m.pstate))
+}
+
+// State returns node i's current power state.
+func (a *Accountant) State(i int) NodeState { return a.nodes[i].state }
+
+// Speed returns node i's current relative execution speed: its active
+// P-state speed, or 0 for a node that is not computing.
+func (a *Accountant) Speed(i int) float64 {
+	m := &a.nodes[i]
+	if m.state != Active {
+		return 0
+	}
+	return m.profile.SpeedAt(m.pstate)
+}
+
+// TotalPowerW returns the instantaneous cluster draw.
+func (a *Accountant) TotalPowerW() float64 { return a.totalW }
+
+// SleepingNodes counts nodes currently in a sleep state.
+func (a *Accountant) SleepingNodes() int {
+	n := 0
+	for i := range a.nodes {
+		if a.nodes[i].state == Sleeping {
+			n++
+		}
+	}
+	return n
+}
+
+// Wakes returns the total number of sleep→active transitions.
+func (a *Accountant) Wakes() int {
+	n := 0
+	for i := range a.nodes {
+		n += a.nodes[i].wakes
+	}
+	return n
+}
+
+// Flush settles every node's integral up to the kernel's current time.
+func (a *Accountant) Flush() {
+	for i := range a.nodes {
+		a.advance(i)
+	}
+}
+
+// NodeJoules returns node i's energy integral up to now.
+func (a *Accountant) NodeJoules(i int) float64 {
+	a.advance(i)
+	return a.nodes[i].joules
+}
+
+// TotalJoules returns the cluster energy integral up to now.
+func (a *Accountant) TotalJoules() float64 {
+	a.Flush()
+	total := 0.0
+	for i := range a.nodes {
+		total += a.nodes[i].joules
+	}
+	return total
+}
+
+// JobJoules returns the energy attributed to a job: the integral of the
+// draw of every node over the intervals it was charged to that job.
+func (a *Accountant) JobJoules(jobID int) float64 {
+	a.Flush()
+	return a.jobs[jobID]
+}
+
+// AttributedJoules returns the energy charged to any job so far.
+func (a *Accountant) AttributedJoules() float64 {
+	a.Flush()
+	total := 0.0
+	for _, j := range a.jobs {
+		total += j
+	}
+	return total
+}
+
+// UnattributedJoules is the idle/sleep remainder no job is charged for.
+func (a *Accountant) UnattributedJoules() float64 {
+	return a.TotalJoules() - a.AttributedJoules()
+}

@@ -1,0 +1,236 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) < 1e-6*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestProfileValidation(t *testing.T) {
+	for _, p := range []Profile{DefaultProfile(), EfficiencyProfile()} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Class, err)
+		}
+	}
+	bad := DefaultProfile()
+	bad.PStates = nil
+	if bad.Validate() == nil {
+		t.Fatal("profile without P-states validated")
+	}
+	bad = DefaultProfile()
+	bad.SStates[1].PowerW = bad.SStates[0].PowerW + 1
+	if bad.Validate() == nil {
+		t.Fatal("deeper sleep drawing more power validated")
+	}
+}
+
+func TestIdleIntegration(t *testing.T) {
+	k := sim.NewKernel()
+	a := New(k, Uniform(DefaultProfile(), 3))
+	k.At(100*sim.Second, func() {})
+	k.Run()
+	want := 3 * DefaultProfile().IdleW * 100
+	if got := a.TotalJoules(); !almost(got, want) {
+		t.Fatalf("idle cluster: %.1f J, want %.1f J", got, want)
+	}
+}
+
+// TestFullyAsleepClusterDrawsSleepPowerOnly pins the ISSUE invariant: a
+// fully idle cluster with sleep enabled consumes only sleep-state power.
+func TestFullyAsleepClusterDrawsSleepPowerOnly(t *testing.T) {
+	k := sim.NewKernel()
+	p := DefaultProfile()
+	a := New(k, Uniform(p, 4))
+	for i := 0; i < 4; i++ {
+		a.NodeSleep(i, 0)
+	}
+	k.At(1000*sim.Second, func() {})
+	k.Run()
+	want := 4 * p.SleepW(0) * 1000
+	if got := a.TotalJoules(); !almost(got, want) {
+		t.Fatalf("sleeping cluster: %.1f J, want %.1f J", got, want)
+	}
+	if a.SleepingNodes() != 4 {
+		t.Fatalf("%d sleeping, want 4", a.SleepingNodes())
+	}
+	if got := a.TotalPowerW(); !almost(got, 4*p.SleepW(0)) {
+		t.Fatalf("draw %.1f W, want %.1f W", got, 4*p.SleepW(0))
+	}
+}
+
+// TestTotalEqualsSumOfNodeIntegrals pins the ISSUE invariant: the
+// cluster integral is exactly the sum of the per-node integrals, across
+// a mixed scenario with active, idle and sleeping nodes.
+func TestTotalEqualsSumOfNodeIntegrals(t *testing.T) {
+	k := sim.NewKernel()
+	p := DefaultProfile()
+	a := New(k, Uniform(p, 5))
+	k.At(10*sim.Second, func() {
+		a.NodeActive(0, 1, 0)
+		a.NodeActive(1, 1, 1) // slower P-state
+		a.NodeSleep(2, 0)
+		a.NodeSleep(3, 1)
+	})
+	k.At(50*sim.Second, func() {
+		a.NodeIdle(0)
+		a.NodeIdle(1)
+	})
+	k.At(200*sim.Second, func() {})
+	k.Run()
+	sum := 0.0
+	for i := 0; i < a.Nodes(); i++ {
+		sum += a.NodeJoules(i)
+	}
+	if got := a.TotalJoules(); !almost(got, sum) {
+		t.Fatalf("total %.3f J != Σ nodes %.3f J", got, sum)
+	}
+	// Independent hand computation.
+	want := 0.0
+	want += p.IdleW*10 + p.ActiveW(0)*40 + p.IdleW*150 // node 0
+	want += p.IdleW*10 + p.ActiveW(1)*40 + p.IdleW*150 // node 1
+	want += p.IdleW*10 + p.SleepW(0)*190               // node 2
+	want += p.IdleW*10 + p.SleepW(1)*190               // node 3
+	want += p.IdleW * 200                              // node 4
+	if got := a.TotalJoules(); !almost(got, want) {
+		t.Fatalf("total %.3f J, want hand-computed %.3f J", got, want)
+	}
+}
+
+// TestJobAttributionConservedAcrossResize pins the ISSUE invariant: a
+// job's attributed energy across a shrink and an expand is exactly
+// node-count × active power × duration per interval, and attributed plus
+// unattributed energy equals the cluster total.
+func TestJobAttributionConservedAcrossResize(t *testing.T) {
+	k := sim.NewKernel()
+	p := DefaultProfile()
+	a := New(k, Uniform(p, 6))
+	// Job 7 starts on 4 nodes, shrinks to 2, expands to 6, ends.
+	for i := 0; i < 4; i++ {
+		a.NodeActive(i, 7, 0)
+	}
+	k.At(100*sim.Second, func() { // shrink: release nodes 2,3
+		a.NodeIdle(2)
+		a.NodeIdle(3)
+	})
+	k.At(300*sim.Second, func() { // expand to all 6
+		for i := 2; i < 6; i++ {
+			a.NodeActive(i, 7, 0)
+		}
+	})
+	k.At(400*sim.Second, func() { // job ends
+		for i := 0; i < 6; i++ {
+			a.NodeIdle(i)
+		}
+	})
+	k.At(500*sim.Second, func() {})
+	k.Run()
+
+	want := p.ActiveW(0) * (4*100 + 2*200 + 6*100)
+	if got := a.JobJoules(7); !almost(got, want) {
+		t.Fatalf("job energy %.1f J, want %.1f J", got, want)
+	}
+	if got, want := a.AttributedJoules(), a.JobJoules(7); !almost(got, want) {
+		t.Fatalf("attributed %.1f J != only job's %.1f J", got, want)
+	}
+	if got := a.UnattributedJoules() + a.AttributedJoules(); !almost(got, a.TotalJoules()) {
+		t.Fatalf("attribution leaks energy: %.1f J vs total %.1f J", got, a.TotalJoules())
+	}
+}
+
+func TestReattributeMovesOngoingDraw(t *testing.T) {
+	k := sim.NewKernel()
+	p := DefaultProfile()
+	a := New(k, Uniform(p, 1))
+	a.NodeActive(0, 1, 0)
+	k.At(50*sim.Second, func() { a.Reattribute(0, 2) })
+	k.At(150*sim.Second, func() { a.NodeIdle(0) })
+	k.Run()
+	if got, want := a.JobJoules(1), p.ActiveW(0)*50; !almost(got, want) {
+		t.Fatalf("job 1: %.1f J, want %.1f J", got, want)
+	}
+	if got, want := a.JobJoules(2), p.ActiveW(0)*100; !almost(got, want) {
+		t.Fatalf("job 2: %.1f J, want %.1f J", got, want)
+	}
+}
+
+func TestWakeLatencyAndCounters(t *testing.T) {
+	k := sim.NewKernel()
+	p := DefaultProfile()
+	a := New(k, Uniform(p, 2))
+	a.NodeSleep(0, 1) // deep sleep
+	if wake := a.NodeActive(0, 1, 0); wake != p.WakeLatency(1) {
+		t.Fatalf("deep wake latency %v, want %v", wake, p.WakeLatency(1))
+	}
+	if wake := a.NodeActive(1, 1, 0); wake != 0 {
+		t.Fatalf("idle node charged wake latency %v", wake)
+	}
+	if a.Wakes() != 1 {
+		t.Fatalf("%d wakes, want 1", a.Wakes())
+	}
+}
+
+func TestSleepIgnoredWhileActive(t *testing.T) {
+	k := sim.NewKernel()
+	a := New(k, Uniform(DefaultProfile(), 1))
+	a.NodeActive(0, 1, 0)
+	a.NodeSleep(0, 0)
+	if a.State(0) != Active {
+		t.Fatalf("allocated node slipped to %v", a.State(0))
+	}
+}
+
+func TestPStateSpeedAndPower(t *testing.T) {
+	p := DefaultProfile()
+	if p.SpeedAt(0) != 1.0 {
+		t.Fatalf("P0 speed %v", p.SpeedAt(0))
+	}
+	for i := 1; i < len(p.PStates); i++ {
+		if p.SpeedAt(i) >= p.SpeedAt(i-1) || p.ActiveW(i) >= p.ActiveW(i-1) {
+			t.Fatalf("P%d not slower and cheaper than P%d", i, i-1)
+		}
+	}
+	k := sim.NewKernel()
+	a := New(k, Uniform(p, 1))
+	a.NodeActive(0, 1, 0)
+	if a.Speed(0) != 1.0 {
+		t.Fatalf("active speed %v", a.Speed(0))
+	}
+	a.SetPState(0, 2)
+	k.At(100*sim.Second, func() { a.NodeIdle(0) })
+	k.Run()
+	if got, want := a.JobJoules(1), p.ActiveW(2)*100; !almost(got, want) {
+		t.Fatalf("DVFS energy %.1f J, want %.1f J", got, want)
+	}
+}
+
+func TestPowerSampleHook(t *testing.T) {
+	k := sim.NewKernel()
+	p := DefaultProfile()
+	a := New(k, Uniform(p, 2))
+	var samples []float64
+	var times []sim.Time
+	a.OnPowerSample = func(t sim.Time, w float64) {
+		times = append(times, t)
+		samples = append(samples, w)
+	}
+	a.NodeActive(0, 1, 0)
+	k.At(10*sim.Second, func() { a.NodeIdle(0) })
+	k.At(20*sim.Second, func() { a.NodeSleep(0, 0); a.NodeSleep(1, 0) })
+	k.Run()
+	if len(samples) != 4 {
+		t.Fatalf("%d samples, want 4", len(samples))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatal("samples out of order")
+		}
+	}
+	if got, want := samples[len(samples)-1], 2*p.SleepW(0); !almost(got, want) {
+		t.Fatalf("final draw %.1f W, want %.1f W", got, want)
+	}
+}

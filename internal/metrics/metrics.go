@@ -28,9 +28,11 @@ type Trace struct {
 	Samples    []Sample
 }
 
-// Recorder hooks a controller and accumulates a trace.
+// Recorder hooks a controller and accumulates a trace, plus the power
+// trace when an energy accountant is attached (AttachPower).
 type Recorder struct {
-	Trace Trace
+	Trace      Trace
+	PowerTrace *PowerTrace
 }
 
 // Attach registers the recorder on the controller.
@@ -88,6 +90,12 @@ type WorkloadResult struct {
 	UtilRate      float64 // percent
 	Resizes       int
 	Trace         *Trace
+
+	// Energy measures, filled when the run carried an energy accountant:
+	// the cluster energy integral over [0, makespan] and the mean draw.
+	EnergyJ   float64
+	AvgPowerW float64
+	Power     *PowerTrace
 }
 
 // Collect computes the result over the given jobs and trace.

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+)
+
+func TestPowerTraceIntegration(t *testing.T) {
+	tr := &PowerTrace{Samples: []PowerSample{
+		{T: 0, PowerW: 100},
+		{T: 10 * sim.Second, PowerW: 300},
+		{T: 30 * sim.Second, PowerW: 50},
+	}}
+	// 100 W × 10 s + 300 W × 20 s + 50 W × 10 s = 7500 J.
+	if got := tr.EnergyJoules(40 * sim.Second); math.Abs(got-7500) > 1e-9 {
+		t.Fatalf("integral %.1f J, want 7500", got)
+	}
+	if got := tr.AvgPowerW(40 * sim.Second); math.Abs(got-187.5) > 1e-9 {
+		t.Fatalf("mean %.2f W, want 187.5", got)
+	}
+	if got := tr.PowerAt(15 * sim.Second); got != 300 {
+		t.Fatalf("draw at 15 s: %.1f W", got)
+	}
+	// Truncated window stops mid-segment.
+	if got := tr.EnergyJoules(20 * sim.Second); math.Abs(got-(100*10+300*10)) > 1e-9 {
+		t.Fatalf("truncated integral %.1f J", got)
+	}
+}
+
+func TestAttachPowerRecordsTransitions(t *testing.T) {
+	k := sim.NewKernel()
+	a := energy.New(k, energy.Uniform(energy.DefaultProfile(), 2))
+	r := &Recorder{}
+	r.AttachPower(a)
+	a.NodeActive(0, 1, 0)
+	k.At(10*sim.Second, func() { a.NodeIdle(0) })
+	k.Run()
+	if len(r.PowerTrace.Samples) != 3 { // initial + 2 transitions
+		t.Fatalf("%d samples", len(r.PowerTrace.Samples))
+	}
+	p := energy.DefaultProfile()
+	want := (p.ActiveW(0) + p.IdleW) * 10 // node 1 idles alongside node 0
+	if got := r.PowerTrace.EnergyJoules(10 * sim.Second); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("trace integral %.1f J, want %.1f", got, want)
+	}
+	// The trace integral matches the accountant's own ledger.
+	if got, acct := r.PowerTrace.EnergyJoules(k.Now()), a.TotalJoules(); math.Abs(got-acct) > 1e-6 {
+		t.Fatalf("trace %.1f J != accountant %.1f J", got, acct)
+	}
+}
+
+func TestWritePowerCSV(t *testing.T) {
+	tr := &PowerTrace{Samples: []PowerSample{
+		{T: 0, PowerW: 100},
+		{T: 10 * sim.Second, PowerW: 300},
+	}}
+	var b strings.Builder
+	if err := WritePowerCSV(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "t_s,power_w,energy_j" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "10.000,300.0,1000.0") {
+		t.Fatalf("cumulative row %q", lines[2])
+	}
+}
+
+func TestWritePowerSVG(t *testing.T) {
+	tr := &PowerTrace{Samples: []PowerSample{
+		{T: 0, PowerW: 100},
+		{T: 10 * sim.Second, PowerW: 300},
+	}}
+	var b strings.Builder
+	err := WritePowerSVG(&b, "power", 20*sim.Second,
+		[]string{"run"}, []string{"#1f77b4"}, []*PowerTrace{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") || !strings.Contains(b.String(), "power (W)") {
+		t.Fatal("SVG output malformed")
+	}
+}

@@ -8,6 +8,7 @@ package platform
 import (
 	"fmt"
 
+	"repro/internal/energy"
 	"repro/internal/sim"
 )
 
@@ -18,6 +19,15 @@ type Node struct {
 	Index int
 	Name  string
 	Cores int
+	// Power is the node's machine-class power model (energy accounting).
+	Power energy.Profile
+}
+
+// MachineClass assigns a power profile to a contiguous block of nodes,
+// the heterogeneous-cluster idiom of energy-efficiency simulators.
+type MachineClass struct {
+	Count int
+	Power energy.Profile
 }
 
 // NetModel is a linear latency/bandwidth model of the interconnect.
@@ -45,6 +55,15 @@ type Config struct {
 	PFSBytesPS    float64  // parallel filesystem bandwidth (checkpointing)
 	PFSOpenCost   sim.Time // per-process file open/close overhead on the PFS
 	PFSConcurrent int      // PFS service slots (concurrent streams)
+
+	// Power is the uniform node power model; the zero value selects
+	// energy.DefaultProfile (the paper's Xeon E5-2670 nodes).
+	Power energy.Profile
+	// Classes, when non-empty, carves the cluster into heterogeneous
+	// machine classes: the first Classes[0].Count nodes take the first
+	// profile, and so on. Nodes beyond the listed classes fall back to
+	// Power.
+	Classes []MachineClass
 }
 
 // Marenostrum3 returns the paper's testbed dimensions with calibrated
@@ -84,11 +103,39 @@ func NewOn(k *sim.Kernel, cfg Config) *Cluster {
 	if cfg.PFSConcurrent <= 0 {
 		cfg.PFSConcurrent = 1
 	}
+	if len(cfg.Power.PStates) == 0 {
+		cfg.Power = energy.DefaultProfile()
+	}
 	c := &Cluster{K: k, Cfg: cfg, PFS: sim.NewResource(k, cfg.PFSConcurrent)}
+	classIdx, classLeft := 0, 0
+	if len(cfg.Classes) > 0 {
+		classLeft = cfg.Classes[0].Count
+	}
 	for i := 0; i < cfg.Nodes; i++ {
-		c.Nodes = append(c.Nodes, &Node{Index: i, Name: fmt.Sprintf("node%03d", i), Cores: cfg.CoresPerNode})
+		power := cfg.Power
+		for classIdx < len(cfg.Classes) && classLeft == 0 {
+			classIdx++
+			if classIdx < len(cfg.Classes) {
+				classLeft = cfg.Classes[classIdx].Count
+			}
+		}
+		if classIdx < len(cfg.Classes) && classLeft > 0 {
+			power = cfg.Classes[classIdx].Power
+			classLeft--
+		}
+		c.Nodes = append(c.Nodes, &Node{Index: i, Name: fmt.Sprintf("node%03d", i), Cores: cfg.CoresPerNode, Power: power})
 	}
 	return c
+}
+
+// PowerProfiles returns the per-node power models in node-index order,
+// the input an energy.Accountant needs.
+func (c *Cluster) PowerProfiles() []energy.Profile {
+	out := make([]energy.Profile, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Power
+	}
+	return out
 }
 
 // Net returns the interconnect model.

@@ -22,6 +22,12 @@ type JobRecord struct {
 	Resizes       int
 	NodeSeconds   float64
 	Flexible      bool
+	// EnergyJ is the energy attributed to the job: the integral of the
+	// draw of every node over the intervals it held that node. Zero
+	// when the controller runs without an energy accountant.
+	EnergyJ float64
+	// AvgPowerW is EnergyJ over the job's execution time.
+	AvgPowerW float64
 }
 
 // Accounting returns the records of all terminated jobs, ordered by ID.
@@ -49,6 +55,12 @@ func (c *Controller) Accounting() []JobRecord {
 			rec.ExecSec = j.ExecTime().Seconds()
 			rec.CompletionSec = j.CompletionTime().Seconds()
 		}
+		if c.cfg.Energy != nil {
+			rec.EnergyJ = c.cfg.Energy.JobJoules(j.ID)
+			if rec.ExecSec > 0 {
+				rec.AvgPowerW = rec.EnergyJ / rec.ExecSec
+			}
+		}
 		out = append(out, rec)
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
@@ -61,6 +73,7 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 	if err := cw.Write([]string{
 		"id", "name", "state", "req_nodes", "submit_s", "start_s", "end_s",
 		"wait_s", "exec_s", "completion_s", "resizes", "node_seconds", "flexible",
+		"energy_j", "avg_power_w",
 	}); err != nil {
 		return err
 	}
@@ -71,6 +84,7 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 			fmt.Sprintf("%.3f", r.EndSec), fmt.Sprintf("%.3f", r.WaitSec),
 			fmt.Sprintf("%.3f", r.ExecSec), fmt.Sprintf("%.3f", r.CompletionSec),
 			fmt.Sprint(r.Resizes), fmt.Sprintf("%.1f", r.NodeSeconds), fmt.Sprint(r.Flexible),
+			fmt.Sprintf("%.1f", r.EnergyJ), fmt.Sprintf("%.1f", r.AvgPowerW),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

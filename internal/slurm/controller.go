@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/energy"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -23,6 +24,16 @@ type Config struct {
 	// many jobs checking at once queue here — the "burst of
 	// communications" the checking inhibitor exists to avoid (§VIII-E).
 	RPCService sim.Time
+	// Energy, when non-nil, receives every node power-state transition
+	// and attributes per-job energy (the EnergyJ accounting column).
+	Energy *energy.Accountant
+	// IdleSleep is the idle timeout after which a free node drops to a
+	// sleep state; 0 keeps idle nodes powered on. Requires Energy.
+	IdleSleep sim.Time
+	// SleepState selects which S-state idle nodes drop into (0 is the
+	// shallowest). Allocating a sleeping node pays its wake latency
+	// before the job launches.
+	SleepState int
 }
 
 // DefaultConfig mirrors the paper's Slurm setup: backfill scheduling with
@@ -53,6 +64,7 @@ type Controller struct {
 	completed int
 	kicked    bool
 	rpcSlot   *sim.Resource // serializes reconfiguration decisions
+	sleepGen  []int         // per-node timer generation; allocation invalidates armed sleeps
 
 	// Events is the append-only trace of everything the controller did.
 	Events []Event
@@ -63,16 +75,25 @@ type Controller struct {
 // NewController builds a controller over the cluster's nodes.
 func NewController(c *platform.Cluster, cfg Config) *Controller {
 	ctl := &Controller{
-		cluster: c,
-		k:       c.K,
-		cfg:     cfg,
-		jobs:    make(map[int]*Job),
-		running: make(map[int]*Job),
-		rpcSlot: sim.NewResource(c.K, 1),
+		cluster:  c,
+		k:        c.K,
+		cfg:      cfg,
+		jobs:     make(map[int]*Job),
+		running:  make(map[int]*Job),
+		rpcSlot:  sim.NewResource(c.K, 1),
+		sleepGen: make([]int, len(c.Nodes)),
 	}
 	ctl.free = append(ctl.free, c.Nodes...)
+	// Nodes start idle; with sleep enabled they doze off unless a job
+	// claims them within the idle timeout.
+	for _, n := range c.Nodes {
+		ctl.armSleep(n)
+	}
 	return ctl
 }
+
+// Energy returns the attached accountant (nil when accounting is off).
+func (c *Controller) Energy() *energy.Accountant { return c.cfg.Energy }
 
 // ReconfigRPC serves one decision round trip for process p: queue for
 // the controller's single decision slot, pay the service time, decide.
@@ -205,8 +226,79 @@ func (c *Controller) allocateNodes(n int) []*platform.Node {
 // releaseNodes returns nodes to the free pool, keeping it sorted.
 // Nodes drained while allocated complete their drain here.
 func (c *Controller) releaseNodes(nodes []*platform.Node) {
+	c.powerRelease(nodes)
 	c.free = append(c.free, c.filterDrained(nodes)...)
 	sort.Slice(c.free, func(i, j int) bool { return c.free[i].Index < c.free[j].Index })
+}
+
+// powerAllocate reports an allocation to the energy accountant and
+// returns the longest wake latency among nodes resumed from sleep; the
+// job's launch is delayed by that much (the machines are booting).
+// Expand-dance resizers charge their draw to the dance target: resizer
+// jobs are excluded from accounting, and the boot energy belongs to the
+// job that asked to grow.
+func (c *Controller) powerAllocate(j *Job, nodes []*platform.Node) sim.Time {
+	if c.cfg.Energy == nil {
+		return 0
+	}
+	chargeTo := j.ID
+	if j.Resizer && j.Dependency.Type == DepExpand {
+		chargeTo = j.Dependency.JobID
+	}
+	var wake sim.Time
+	for _, n := range nodes {
+		c.sleepGen[n.Index]++ // cancel any armed sleep timer
+		if w := c.cfg.Energy.NodeActive(n.Index, chargeTo, 0); w > 0 {
+			c.logNode(EvWake, n, chargeTo)
+			if w > wake {
+				wake = w
+			}
+		}
+	}
+	return wake
+}
+
+// powerRelease reports released nodes to the accountant: they fall to
+// idle draw and, with sleep enabled, re-arm their idle timers.
+func (c *Controller) powerRelease(nodes []*platform.Node) {
+	if c.cfg.Energy == nil {
+		return
+	}
+	for _, n := range nodes {
+		c.cfg.Energy.NodeIdle(n.Index)
+		c.armSleep(n)
+	}
+}
+
+// armSleep schedules the idle→sleep drop for a node that just became
+// free. A later allocation bumps the node's generation, voiding the
+// timer; the accountant additionally refuses to sleep non-idle nodes.
+// Drained nodes never sleep: they are held out of service for
+// maintenance and stay powered on.
+func (c *Controller) armSleep(n *platform.Node) {
+	if c.cfg.Energy == nil || c.cfg.IdleSleep <= 0 || c.drained[n] {
+		return
+	}
+	c.sleepGen[n.Index]++
+	gen := c.sleepGen[n.Index]
+	c.k.After(c.cfg.IdleSleep, func() {
+		if c.sleepGen[n.Index] != gen {
+			return
+		}
+		c.cfg.Energy.NodeSleep(n.Index, c.cfg.SleepState)
+		c.logNode(EvSleep, n, 0)
+	})
+}
+
+// powerReattribute moves held nodes' draw to a different job (0 clears
+// the attribution) during the expand dance.
+func (c *Controller) powerReattribute(nodes []*platform.Node, jobID int) {
+	if c.cfg.Energy == nil {
+		return
+	}
+	for _, n := range nodes {
+		c.cfg.Energy.Reattribute(n.Index, jobID)
+	}
 }
 
 func (c *Controller) removePending(j *Job) {
@@ -218,9 +310,13 @@ func (c *Controller) removePending(j *Job) {
 	}
 }
 
-// startJob allocates and launches a pending job. Kernel context.
+// startJob allocates and launches a pending job. Kernel context. When
+// the allocation includes sleeping nodes, the launch is delayed by the
+// slowest wake transition — the nodes draw active power while booting
+// but the application only starts once all of them are up.
 func (c *Controller) startJob(j *Job, n int) {
 	j.alloc = c.allocateNodes(n)
+	wake := c.powerAllocate(j, j.alloc)
 	j.State = StateRunning
 	j.StartTime = c.k.Now()
 	j.lastAllocated = j.StartTime
@@ -229,14 +325,27 @@ func (c *Controller) startJob(j *Job, n int) {
 	c.log(EvStart, j, fmt.Sprintf("nodes=%d", n))
 	c.sample()
 	if j.Resizer {
+		// Resizer starts fire synchronously: the expand dance's abort
+		// path (CancelResizer on timeout) relies on "running implies
+		// started", and the dance's own RPC steps overlap the boot.
+		// The nodes are already charged active (boot) power.
 		if j.onResizerStart != nil {
 			j.onResizerStart(j)
 		}
 		return
 	}
 	if j.Launch != nil {
-		j.Launch(j, j.alloc)
+		c.afterWake(wake, func() { j.Launch(j, j.alloc) })
 	}
+}
+
+// afterWake runs fn now, or after the wake delay when nodes are booting.
+func (c *Controller) afterWake(wake sim.Time, fn func()) {
+	if wake <= 0 {
+		fn()
+		return
+	}
+	c.k.After(wake, fn)
 }
 
 // kick schedules a coalesced scheduling pass after the reaction delay.
@@ -256,6 +365,17 @@ func (c *Controller) sample() {
 	if c.OnSample != nil {
 		c.OnSample(c.k.Now(), c.AllocatedNodes(), len(c.running), c.completed, len(c.pending))
 	}
+}
+
+// logNode appends a node power-state event (sleep/wake).
+func (c *Controller) logNode(kind EventKind, n *platform.Node, jobID int) {
+	c.Events = append(c.Events, Event{
+		T:     c.k.Now(),
+		Kind:  kind,
+		JobID: jobID,
+		Nodes: 1,
+		Info:  n.Name,
+	})
 }
 
 // log appends a controller event.

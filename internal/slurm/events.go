@@ -16,6 +16,8 @@ const (
 	EvDetach
 	EvGrow
 	EvBoost
+	EvSleep // node dropped to a sleep state after its idle timeout
+	EvWake  // sleeping node resumed for an allocation
 )
 
 func (k EventKind) String() string {
@@ -38,6 +40,10 @@ func (k EventKind) String() string {
 		return "GROW"
 	case EvBoost:
 		return "BOOST"
+	case EvSleep:
+		return "SLEEP"
+	case EvWake:
+		return "WAKE"
 	}
 	return "?"
 }

@@ -32,6 +32,14 @@ func (c *Controller) DrainNode(index int) error {
 			break
 		}
 	}
+	// A drained node stays powered for maintenance: cancel any armed
+	// sleep timer and wake it if it already dozed off.
+	if c.cfg.Energy != nil {
+		c.sleepGen[n.Index]++
+		if w := c.cfg.Energy.WakeIdle(n.Index); w > 0 {
+			c.logNode(EvWake, n, 0)
+		}
+	}
 	return nil
 }
 

@@ -47,6 +47,9 @@ func (c *Controller) DetachNodes(j *Job) []*platform.Node {
 	nodes := j.alloc
 	j.alloc = nil
 	c.held = append(c.held, nodes...)
+	// Parked nodes keep drawing active power under their existing
+	// attribution — for an expand-dance resizer that is already the
+	// dance target (set at allocation); GrowJob re-asserts it on graft.
 	// The job keeps "running" with zero nodes until cancelled, exactly
 	// like the transient state in the paper's dance.
 	c.log(EvDetach, j, fmt.Sprintf("parked=%d", len(nodes)))
@@ -96,6 +99,7 @@ func (c *Controller) GrowJob(j *Job, nodes []*platform.Node) {
 	}
 	j.accumulateNodeSeconds(c.k.Now())
 	j.alloc = append(j.alloc, nodes...)
+	c.powerReattribute(nodes, j.ID)
 	j.ResizeCount++
 	c.log(EvGrow, j, fmt.Sprintf("nodes=%d", len(j.alloc)))
 	c.sample()
