@@ -5,7 +5,7 @@
 //
 //	dmrsim [-jobs N] [-nodes N] [-realistic] [-fixed] [-async] [-moldable]
 //	       [-period s] [-seed N] [-trace] [-events]
-//	       [-energy] [-sleep s] [-energypolicy]
+//	       [-energy] [-sleep s] [-energypolicy] [-powercap W]
 package main
 
 import (
@@ -35,6 +35,7 @@ func main() {
 	withEnergy := flag.Bool("energy", false, "enable power/energy accounting (energy_j in -acct)")
 	sleepAfter := flag.Float64("sleep", 0, "idle seconds before free nodes sleep (implies -energy)")
 	energyPolicy := flag.Bool("energypolicy", false, "energy-aware DMR policy instead of Algorithm 1 (implies -energy)")
+	powerCap := flag.Float64("powercap", 0, "cluster power cap in watts: defer/throttle starts to stay under it (implies -energy)")
 	flag.Parse()
 
 	var params workload.Params
@@ -53,10 +54,11 @@ func main() {
 	if *period >= 0 {
 		cfg.SchedPeriod = sim.Seconds(*period)
 	}
-	if *withEnergy || *sleepAfter > 0 || *energyPolicy {
+	if *withEnergy || *sleepAfter > 0 || *energyPolicy || *powerCap > 0 {
 		cfg.Energy = true
 		cfg.IdleSleep = sim.Seconds(*sleepAfter)
 		cfg.EnergyPolicy = *energyPolicy
+		cfg.PowerCapW = *powerCap
 	}
 
 	specs := workload.Generate(params)
@@ -92,6 +94,15 @@ func main() {
 		fmt.Printf("  cluster energy:       %10.0f kJ\n", res.EnergyJ/1e3)
 		fmt.Printf("  avg cluster draw:     %10.0f W\n", res.AvgPowerW)
 		fmt.Printf("  node wake-ups:        %10d\n", sys.Energy.Wakes())
+	}
+	if cfg.PowerCapW > 0 {
+		throttled := 0.0
+		for _, rec := range sys.Ctl.Accounting() {
+			throttled += rec.ThrottledSec
+		}
+		fmt.Printf("  power cap:            %10.0f W\n", cfg.PowerCapW)
+		fmt.Printf("  peak cluster draw:    %10.0f W\n", res.Power.MaxPowerW(res.Makespan))
+		fmt.Printf("  throttled job-time:   %10.0f s\n", throttled)
 	}
 
 	if *trace {

@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy] [-quick] [-seed N]
+//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap] [-quick] [-seed N]
 //
 // The energy experiment compares total cluster energy for rigid,
 // malleable (Algorithm 1) and energy-aware-policy runs of the same
 // seeded workload, with per-node power accounting and idle-node sleep.
+//
+// The powercap experiment sweeps facility power budgets against makespan
+// and energy for rigid vs malleable runs: under a cap, job starts are
+// admission-controlled and running jobs are DVFS-throttled (the trace
+// never exceeds the cap), at the price of stretched runtimes.
 package main
 
 import (
@@ -38,12 +43,14 @@ func main() {
 	fig8Jobs, fig9Sizes := 100, experiments.Fig9Sizes
 	ablJobs := 50
 	energySizes := experiments.EnergySizes
+	capJobs, capLevels := experiments.PowerCapJobs, experiments.PowerCapLevels
 	if *quick {
 		prelimSizes = []int{10, 25, 50}
 		realSizes = []int{20, 50}
 		fig8Jobs, fig9Sizes = 30, []int{10, 25}
 		ablJobs = 20
 		energySizes = []int{20, 50}
+		capJobs, capLevels = 20, []float64{0, 12000}
 	}
 
 	run := func(name string, fn func()) {
@@ -96,6 +103,12 @@ func main() {
 		fmt.Print(experiments.FormatEnergy(rows))
 		fmt.Println()
 		writeEnergyOutputs(rows)
+	})
+	run("powercap", func() {
+		rows := experiments.PowerCap(capJobs, capLevels, *seed)
+		fmt.Print(experiments.FormatPowerCap(rows))
+		fmt.Println()
+		writePowerCapOutputs(rows)
 	})
 	run("ablations", func() {
 		fmt.Print(experiments.FormatAblation("Ablation: moldable submissions (paper §X future work)", experiments.Moldable(ablJobs, *seed)))
@@ -229,10 +242,51 @@ func writeEnergyOutputs(rows []experiments.EnergyRow) {
 		}
 		name := fmt.Sprintf("energy_%dj_power.svg", r.Jobs)
 		writeFile(filepath.Join(*svgDir, name), func(f *os.File) error {
-			return metrics.WritePowerSVG(f, fmt.Sprintf("Cluster power draw (%d jobs)", r.Jobs), end,
+			return metrics.WritePowerSVG(f, fmt.Sprintf("Cluster power draw (%d jobs)", r.Jobs), end, 0,
 				[]string{"rigid", "malleable", "energy-aware"},
 				[]string{"#1f77b4", "#d62728", "#2ca02c"},
 				[]*metrics.PowerTrace{r.Rigid.Power, r.Malleable.Power, r.Aware.Power})
+		})
+	}
+}
+
+// writePowerCapOutputs dumps the cap sweep's power traces as CSV and SVG
+// (with the cap drawn as a reference line) when requested.
+func writePowerCapOutputs(rows []experiments.PowerCapRow) {
+	if *csvDir != "" {
+		for _, r := range rows {
+			name := "powercap_none"
+			if r.CapW > 0 {
+				name = fmt.Sprintf("powercap_%.0fw", r.CapW)
+			}
+			for suffix, run := range map[string]experiments.PowerCapRun{
+				"rigid": r.Rigid, "malleable": r.Malleable,
+			} {
+				writeFile(filepath.Join(*csvDir, name+"_"+suffix+"_power.csv"), func(f *os.File) error {
+					return metrics.WritePowerCSV(f, run.Res.Power)
+				})
+			}
+		}
+	}
+	if *svgDir == "" {
+		return
+	}
+	for _, r := range rows {
+		end := r.Rigid.Res.Makespan
+		if r.Malleable.Res.Makespan > end {
+			end = r.Malleable.Res.Makespan
+		}
+		title := "Cluster power draw (uncapped)"
+		name := "powercap_none_power.svg"
+		if r.CapW > 0 {
+			title = fmt.Sprintf("Cluster power draw (cap %.0f W)", r.CapW)
+			name = fmt.Sprintf("powercap_%.0fw_power.svg", r.CapW)
+		}
+		writeFile(filepath.Join(*svgDir, name), func(f *os.File) error {
+			return metrics.WritePowerSVG(f, title, end, r.CapW,
+				[]string{"rigid", "malleable"},
+				[]string{"#1f77b4", "#d62728"},
+				[]*metrics.PowerTrace{r.Rigid.Res.Power, r.Malleable.Res.Power})
 		})
 	}
 }

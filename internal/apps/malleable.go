@@ -88,7 +88,14 @@ func Run(w *nanos.Worker, cfg Config, app App) {
 				app.Step(w, cfg, state, t+i)
 			}
 		}
-		w.R.Proc().Sleep(sim.Time(b) * cfg.Model.StepTime(w.R.Size()))
+		// DVFS/heterogeneity coupling: the lockstep iteration runs at
+		// the pace of the slowest allocated node, so a throttled or
+		// efficiency-class node stretches the step.
+		step := cfg.Model.StepTime(w.R.Size())
+		if s := w.SpeedFactor(); s != 1 {
+			step = sim.Time(float64(step) / s)
+		}
+		w.R.Proc().Sleep(sim.Time(b) * step)
 		t += b
 	}
 	if cfg.Final != nil {

@@ -72,6 +72,10 @@ type Config struct {
 	// shrink when the queue is empty so freed nodes sleep, expand only
 	// under dense arrivals.
 	EnergyPolicy bool
+	// PowerCapW bounds the instantaneous cluster draw: job starts are
+	// admission-controlled and running jobs are DVFS-throttled to stay
+	// under the cap (implies Energy; 0 disables capping).
+	PowerCapW float64
 }
 
 // DefaultConfig returns the standard experiment setup.
@@ -117,12 +121,16 @@ func NewSystem(cfg Config) *System {
 	}
 	var acct *energy.Accountant
 	rec := &metrics.Recorder{}
+	if cfg.PowerCapW > 0 {
+		cfg.Energy = true // capping runs on the accountant's meters
+	}
 	if cfg.Energy {
 		acct = energy.New(cl.K, cl.PowerProfiles())
 		rec.AttachPower(acct) // before NewController: it may arm sleeps
 		scfg.Energy = acct
 		scfg.IdleSleep = cfg.IdleSleep
 		scfg.SleepState = cfg.SleepState
+		scfg.PowerCapW = cfg.PowerCapW
 	}
 	ctl := slurm.NewController(cl, scfg)
 	rec.Attach(ctl)

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/energy"
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/slurm"
 	"repro/internal/workload"
@@ -175,5 +178,52 @@ func TestEnergyWithDeepSleepCompletesAndMeters(t *testing.T) {
 	a := sys.Energy
 	if diff := a.AttributedJoules() + a.UnattributedJoules() - a.TotalJoules(); diff > 1e-6 || diff < -1e-6 {
 		t.Fatalf("attribution leak: %.6f J", diff)
+	}
+}
+
+// DVFS speed coupling: the same rigid FS job runs 1/0.6 times longer on
+// an efficiency-class machine (P0 speed 0.6) than on the reference Xeon.
+func TestEfficiencyClassStretchesRuntime(t *testing.T) {
+	spec := workload.Spec{Class: apps.ClassFS, Nodes: 1, Runtime: 100 * sim.Second}
+	base := DefaultConfig()
+	base.Nodes = 2
+	base.Energy = true
+	fast := RunWorkload(base, []workload.Spec{spec})
+
+	slowPC := platform.Marenostrum3()
+	slowPC.Nodes = 2
+	slowPC.Classes = []platform.MachineClass{{Count: 2, Power: energy.EfficiencyProfile()}}
+	slow := base
+	slow.Platform = &slowPC
+	slowRes := RunWorkload(slow, []workload.Spec{spec})
+
+	ratio := slowRes.AvgExec.Seconds() / fast.AvgExec.Seconds()
+	want := 1 / energy.EfficiencyProfile().SpeedAt(0)
+	if math.Abs(ratio-want) > 0.02 {
+		t.Fatalf("efficiency-class stretch %.3fx, want ≈%.3fx", ratio, want)
+	}
+}
+
+// A job admitted below P0 by the power-cap governor observably runs
+// longer: with a 400 W cap on a 2-node cluster the single job starts at
+// P1 (380 W ≤ 400 < 450 W at P0) and executes 1/0.8 times slower.
+func TestPowerCapThrottleStretchesRuntime(t *testing.T) {
+	spec := workload.Spec{Class: apps.ClassFS, Nodes: 1, Runtime: 100 * sim.Second}
+	base := DefaultConfig()
+	base.Nodes = 2
+	base.Energy = true
+	free := RunWorkload(base, []workload.Spec{spec})
+
+	capped := base
+	capped.PowerCapW = 400
+	cappedRes := RunWorkload(capped, []workload.Spec{spec})
+
+	ratio := cappedRes.AvgExec.Seconds() / free.AvgExec.Seconds()
+	want := 1 / energy.DefaultProfile().SpeedAt(1)
+	if math.Abs(ratio-want) > 0.02 {
+		t.Fatalf("throttled stretch %.3fx, want ≈%.3fx", ratio, want)
+	}
+	if peak := cappedRes.Power.MaxPowerW(cappedRes.Makespan); peak > 400 {
+		t.Fatalf("peak draw %.1f W exceeds the 400 W cap", peak)
 	}
 }

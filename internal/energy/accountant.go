@@ -184,6 +184,26 @@ func (a *Accountant) SetPState(i, ps int) {
 // State returns node i's current power state.
 func (a *Accountant) State(i int) NodeState { return a.nodes[i].state }
 
+// PStateOf returns node i's active P-state index (meaningful while the
+// node is active; the last active state otherwise).
+func (a *Accountant) PStateOf(i int) int { return a.nodes[i].pstate }
+
+// NodePowerW returns node i's instantaneous draw. Power capping projects
+// allocation and throttle deltas against this.
+func (a *Accountant) NodePowerW(i int) float64 { return a.nodes[i].powerW }
+
+// WakePreview returns the wake latency an allocation of node i would pay
+// right now: the current S-state's wake latency while sleeping, zero
+// otherwise. Backfill uses it to bound a candidate's true launch time
+// without committing the allocation.
+func (a *Accountant) WakePreview(i int) sim.Time {
+	m := &a.nodes[i]
+	if m.state != Sleeping {
+		return 0
+	}
+	return m.profile.WakeLatency(m.sstate)
+}
+
 // Speed returns node i's current relative execution speed: its active
 // P-state speed, or 0 for a node that is not computing.
 func (a *Accountant) Speed(i int) float64 {

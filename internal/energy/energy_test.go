@@ -27,6 +27,23 @@ func TestProfileValidation(t *testing.T) {
 	if bad.Validate() == nil {
 		t.Fatal("deeper sleep drawing more power validated")
 	}
+	// Speeds divide step times: zero/negative speeds on any P-state and
+	// non-monotone speed ladders must be rejected.
+	bad = DefaultProfile()
+	bad.PStates[2].Speed = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero speed on a non-P0 state validated")
+	}
+	bad = DefaultProfile()
+	bad.PStates[1].Speed = -0.5
+	if bad.Validate() == nil {
+		t.Fatal("negative P-state speed validated")
+	}
+	bad = DefaultProfile()
+	bad.PStates[2].Speed = bad.PStates[1].Speed + 0.1
+	if bad.Validate() == nil {
+		t.Fatal("deeper P-state running faster than a shallower one validated")
+	}
 }
 
 func TestIdleIntegration(t *testing.T) {

@@ -47,7 +47,11 @@ type Profile struct {
 }
 
 // Validate reports whether the profile is usable: at least one P-state
-// and one S-state, P0 at full speed, monotone non-increasing sleep draw.
+// and one S-state, every P-state speed positive and non-increasing from
+// P0, monotone non-increasing draw across both ladders. Speeds divide
+// step times once DVFS coupling is active, so a zero or negative speed
+// (or a deeper state that runs faster than a shallower one) would mean
+// divide-by-zero or time travel downstream.
 func (p Profile) Validate() error {
 	if len(p.PStates) == 0 {
 		return fmt.Errorf("energy: profile %q has no P-states", p.Class)
@@ -55,12 +59,17 @@ func (p Profile) Validate() error {
 	if len(p.SStates) == 0 {
 		return fmt.Errorf("energy: profile %q has no S-states", p.Class)
 	}
-	if p.PStates[0].Speed <= 0 {
-		return fmt.Errorf("energy: profile %q P0 speed %.2f must be positive", p.Class, p.PStates[0].Speed)
+	for i, ps := range p.PStates {
+		if ps.Speed <= 0 {
+			return fmt.Errorf("energy: profile %q P%d speed %.2f must be positive", p.Class, i, ps.Speed)
+		}
 	}
 	for i := 1; i < len(p.PStates); i++ {
 		if p.PStates[i].PowerW > p.PStates[i-1].PowerW {
 			return fmt.Errorf("energy: profile %q P-state %d draws more than P%d", p.Class, i, i-1)
+		}
+		if p.PStates[i].Speed > p.PStates[i-1].Speed {
+			return fmt.Errorf("energy: profile %q P-state %d runs faster than P%d", p.Class, i, i-1)
 		}
 	}
 	for i := 1; i < len(p.SStates); i++ {

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// PowerCapJobs is the workload size of the power-capping sweep.
+const PowerCapJobs = 50
+
+// PowerCapLevels are the facility power budgets swept by the powercap
+// experiment, in watts. 0 is the uncapped baseline; the paper's 65-node
+// machine peaks at about 21.5 kW fully loaded, so the levels cut
+// progressively deeper into that envelope.
+var PowerCapLevels = []float64{0, 16000, 12000, 9000}
+
+// PowerCapRun is one workload execution under a cap.
+type PowerCapRun struct {
+	Res *metrics.WorkloadResult
+	// PeakW is the highest sample of the power trace over the makespan;
+	// under a cap it must never exceed it.
+	PeakW float64
+	// ThrottledS sums throttled_s over all accounting records: the total
+	// job-seconds spent below P0.
+	ThrottledS float64
+}
+
+// PowerCapRow compares rigid and malleable executions of the same seeded
+// workload under one cap level.
+type PowerCapRow struct {
+	CapW      float64
+	Rigid     PowerCapRun
+	Malleable PowerCapRun
+}
+
+// powerCapRun executes one workload under a cap and collects the
+// cap-specific measures from the accounting records and power trace.
+func powerCapRun(capW float64, specs []workload.Spec) PowerCapRun {
+	cfg := energyConfig(false)
+	cfg.PowerCapW = capW
+	sys := core.NewSystem(cfg)
+	sys.SubmitAll(specs)
+	res := sys.Run()
+	run := PowerCapRun{Res: res, PeakW: res.Power.MaxPowerW(res.Makespan)}
+	for _, rec := range sys.Ctl.Accounting() {
+		run.ThrottledS += rec.ThrottledSec
+	}
+	return run
+}
+
+// PowerCap sweeps cap levels against makespan and total energy for rigid
+// vs malleable executions of the same seeded realistic workload, with
+// power accounting and idle sleep enabled throughout. caps==nil sweeps
+// PowerCapLevels.
+func PowerCap(jobs int, caps []float64, seed int64) []PowerCapRow {
+	if caps == nil {
+		caps = PowerCapLevels
+	}
+	specs := workload.Generate(workload.Realistic(jobs, seed))
+	var out []PowerCapRow
+	for _, capW := range caps {
+		out = append(out, PowerCapRow{
+			CapW:      capW,
+			Rigid:     powerCapRun(capW, workload.SetFlexible(specs, false)),
+			Malleable: powerCapRun(capW, workload.SetFlexible(specs, true)),
+		})
+	}
+	return out
+}
+
+// FormatPowerCap renders the sweep: per cap level, makespan, energy,
+// observed peak draw and total throttled job-seconds for both regimes.
+func FormatPowerCap(rows []PowerCapRow) string {
+	var b strings.Builder
+	b.WriteString("Power capping: cap level vs makespan/energy, rigid vs malleable (same seeded workload)\n")
+	fmt.Fprintf(&b, "%9s %11s %11s %10s %10s %11s %11s %10s %10s %11s %11s\n",
+		"cap(W)", "rigidMk(s)", "mallMk(s)", "rigid(kJ)", "mall(kJ)",
+		"rigidPk(W)", "mallPk(W)", "rigThr(s)", "malThr(s)", "rigid(W)", "mall(W)")
+	for _, r := range rows {
+		cap := "none"
+		if r.CapW > 0 {
+			cap = fmt.Sprintf("%.0f", r.CapW)
+		}
+		fmt.Fprintf(&b, "%9s %11.0f %11.0f %10.0f %10.0f %11.0f %11.0f %10.0f %10.0f %11.0f %11.0f\n",
+			cap,
+			r.Rigid.Res.Makespan.Seconds(), r.Malleable.Res.Makespan.Seconds(),
+			r.Rigid.Res.EnergyJ/1e3, r.Malleable.Res.EnergyJ/1e3,
+			r.Rigid.PeakW, r.Malleable.PeakW,
+			r.Rigid.ThrottledS, r.Malleable.ThrottledS,
+			r.Rigid.Res.AvgPowerW, r.Malleable.Res.AvgPowerW)
+	}
+	return b.String()
+}

@@ -56,6 +56,21 @@ func (tr *PowerTrace) AvgPowerW(end sim.Time) float64 {
 	return tr.EnergyJoules(end) / end.Seconds()
 }
 
+// MaxPowerW returns the peak draw of any sample in [0, end] — the value
+// a facility power cap is checked against.
+func (tr *PowerTrace) MaxPowerW(end sim.Time) float64 {
+	peak := 0.0
+	for _, s := range tr.Samples {
+		if s.T > end {
+			break
+		}
+		if s.PowerW > peak {
+			peak = s.PowerW
+		}
+	}
+	return peak
+}
+
 // PowerAt returns the draw in effect at time t.
 func (tr *PowerTrace) PowerAt(t sim.Time) float64 {
 	out := 0.0
@@ -95,9 +110,10 @@ func WritePowerCSV(w io.Writer, tr *PowerTrace) error {
 }
 
 // WritePowerSVG renders draw evolutions as an SVG line chart, one series
-// per trace (fixed vs flexible power profiles side by side).
-func WritePowerSVG(w io.Writer, title string, end sim.Time, names []string, colors []string, traces []*PowerTrace) error {
-	yMax := 0.0
+// per trace (fixed vs flexible power profiles side by side). A non-zero
+// capW draws the facility power cap as a dashed reference line.
+func WritePowerSVG(w io.Writer, title string, end sim.Time, capW float64, names []string, colors []string, traces []*PowerTrace) error {
+	yMax := capW
 	for _, tr := range traces {
 		for _, s := range tr.Samples {
 			if s.PowerW > yMax {
@@ -116,5 +132,9 @@ func WritePowerSVG(w io.Writer, title string, end sim.Time, names []string, colo
 		series[i] = Series{Name: names[i], Color: colors[i%len(colors)], Trace: st,
 			Value: func(s Sample) int { return s.Alloc }}
 	}
-	return WriteEvolutionSVG(w, title, "power (W)", int(yMax+1), end, series)
+	var refs []RefLine
+	if capW > 0 {
+		refs = []RefLine{{Label: fmt.Sprintf("cap %.0f W", capW), Y: capW, Color: "#555"}}
+	}
+	return WriteEvolutionRefSVG(w, title, "power (W)", int(yMax+1), end, series, refs)
 }

@@ -80,12 +80,43 @@ func TestWritePowerSVG(t *testing.T) {
 		{T: 10 * sim.Second, PowerW: 300},
 	}}
 	var b strings.Builder
-	err := WritePowerSVG(&b, "power", 20*sim.Second,
+	err := WritePowerSVG(&b, "power", 20*sim.Second, 0,
 		[]string{"run"}, []string{"#1f77b4"}, []*PowerTrace{tr})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "<svg") || !strings.Contains(b.String(), "power (W)") {
 		t.Fatal("SVG output malformed")
+	}
+}
+
+func TestWritePowerSVGCapLine(t *testing.T) {
+	tr := &PowerTrace{Samples: []PowerSample{
+		{T: 0, PowerW: 100},
+		{T: 10 * sim.Second, PowerW: 300},
+	}}
+	var b strings.Builder
+	err := WritePowerSVG(&b, "power", 20*sim.Second, 250,
+		[]string{"run"}, []string{"#1f77b4"}, []*PowerTrace{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "cap 250 W") || !strings.Contains(out, "stroke-dasharray") {
+		t.Fatal("cap reference line missing from SVG")
+	}
+}
+
+func TestMaxPowerW(t *testing.T) {
+	tr := &PowerTrace{Samples: []PowerSample{
+		{T: 0, PowerW: 100},
+		{T: 10 * sim.Second, PowerW: 300},
+		{T: 30 * sim.Second, PowerW: 500},
+	}}
+	if got := tr.MaxPowerW(20 * sim.Second); got != 300 {
+		t.Fatalf("peak over [0,20s] = %.0f, want 300", got)
+	}
+	if got := tr.MaxPowerW(40 * sim.Second); got != 500 {
+		t.Fatalf("peak over [0,40s] = %.0f, want 500", got)
 	}
 }

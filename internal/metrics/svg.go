@@ -59,9 +59,23 @@ type Series struct {
 	Value func(Sample) int
 }
 
+// RefLine is a horizontal reference drawn across an evolution chart
+// (e.g. a facility power cap).
+type RefLine struct {
+	Label string
+	Color string
+	Y     float64
+}
+
 // WriteEvolutionSVG renders step-area series over [0, end] — the shape
 // of the paper's evolution figures.
 func WriteEvolutionSVG(w io.Writer, title, yLabel string, yMax int, end sim.Time, series []Series) error {
+	return WriteEvolutionRefSVG(w, title, yLabel, yMax, end, series, nil)
+}
+
+// WriteEvolutionRefSVG is WriteEvolutionSVG plus dashed horizontal
+// reference lines.
+func WriteEvolutionRefSVG(w io.Writer, title, yLabel string, yMax int, end sim.Time, series []Series, refs []RefLine) error {
 	plotH := svgH - svgMargT - svgMargB
 	plotW := svgW - svgMargL - svgMargR
 	svgHeader(w, title)
@@ -94,6 +108,26 @@ func WriteEvolutionSVG(w io.Writer, title, yLabel string, yMax int, end sim.Time
 		lx, ly := svgMargL+10, svgMargT+16+18*si
 		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n", lx, ly, lx+22, ly, s.Color)
 		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n", lx+28, ly+4, svgEscape(s.Name))
+	}
+	for _, r := range refs {
+		f := r.Y / float64(yMax)
+		if f > 1 {
+			f = 1
+		}
+		if f < 0 {
+			f = 0
+		}
+		y := float64(svgMargT+plotH) - float64(plotH)*f
+		color := r.Color
+		if color == "" {
+			color = "#555"
+		}
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1.4" stroke-dasharray="7,4"/>`+"\n",
+			svgMargL, y, svgW-svgMargR, y, color)
+		if r.Label != "" {
+			fmt.Fprintf(w, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end" fill="%s">%s</text>`+"\n",
+				svgW-svgMargR-4, y-4, color, svgEscape(r.Label))
+		}
 	}
 	_, err := fmt.Fprintln(w, "</svg>")
 	return err

@@ -181,6 +181,27 @@ func (c *Comm) Nodes() []*platform.Node {
 	return out
 }
 
+// MinSpeed returns the slowest execution speed among the communicator's
+// nodes as reported by speedOf (non-positive reports are ignored), or
+// 1.0 when no node reports one. Lockstep iterative applications advance
+// at the pace of their slowest node, so step loops divide per-iteration
+// compute time by this factor.
+func (c *Comm) MinSpeed(speedOf func(*platform.Node) float64) float64 {
+	min := 1.0
+	found := false
+	for _, ep := range c.eps {
+		s := speedOf(ep.node)
+		if s <= 0 {
+			continue
+		}
+		if !found || s < min {
+			min = s
+			found = true
+		}
+	}
+	return min
+}
+
 // Parent returns the intercommunicator to the spawning group, or nil for
 // an original world (MPI_Comm_get_parent == MPI_COMM_NULL).
 func (c *Comm) Parent() *Intercomm { return c.parent }

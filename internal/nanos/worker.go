@@ -2,6 +2,7 @@ package nanos
 
 import (
 	"repro/internal/mpi"
+	"repro/internal/platform"
 	"repro/internal/slurm"
 )
 
@@ -35,6 +36,24 @@ func (w *Worker) Spawned() bool { return w.R.Comm().Parent() != nil }
 
 // Runtime returns the job-wide runtime instance.
 func (w *Worker) Runtime() *Runtime { return w.rt }
+
+// SpeedFactor returns the slowest current execution speed across the
+// process set's nodes, the factor step loops divide compute time by.
+// With energy accounting attached this is the live DVFS speed — a node
+// the power-cap governor stepped below P0 runs under 1.0 — and without
+// it each node's machine-class P0 speed (an efficiency-class machine is
+// inherently slower than the reference Xeon).
+func (w *Worker) SpeedFactor() float64 {
+	acct := w.rt.ctl.Energy()
+	return w.R.Comm().MinSpeed(func(n *platform.Node) float64 {
+		if acct != nil {
+			if s := acct.Speed(n.Index); s > 0 {
+				return s
+			}
+		}
+		return n.Power.SpeedAt(0)
+	})
+}
 
 // checkResult is the verdict rank 0 distributes to the process set.
 type checkResult struct {

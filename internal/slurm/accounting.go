@@ -28,6 +28,9 @@ type JobRecord struct {
 	EnergyJ float64
 	// AvgPowerW is EnergyJ over the job's execution time.
 	AvgPowerW float64
+	// ThrottledSec is how long the power-cap governor held the job's
+	// nodes below P0.
+	ThrottledSec float64
 }
 
 // Accounting returns the records of all terminated jobs, ordered by ID.
@@ -39,15 +42,16 @@ func (c *Controller) Accounting() []JobRecord {
 			continue
 		}
 		rec := JobRecord{
-			ID:          j.ID,
-			Name:        j.Name,
-			State:       j.State,
-			ReqNodes:    j.ReqNodes,
-			SubmitSec:   j.SubmitTime.Seconds(),
-			EndSec:      j.EndTime.Seconds(),
-			Resizes:     j.ResizeCount,
-			NodeSeconds: j.NodeSeconds,
-			Flexible:    j.Flexible,
+			ID:           j.ID,
+			Name:         j.Name,
+			State:        j.State,
+			ReqNodes:     j.ReqNodes,
+			SubmitSec:    j.SubmitTime.Seconds(),
+			EndSec:       j.EndTime.Seconds(),
+			Resizes:      j.ResizeCount,
+			NodeSeconds:  j.NodeSeconds,
+			Flexible:     j.Flexible,
+			ThrottledSec: j.ThrottledSec,
 		}
 		if j.State == StateCompleted {
 			rec.StartSec = j.StartTime.Seconds()
@@ -73,7 +77,7 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 	if err := cw.Write([]string{
 		"id", "name", "state", "req_nodes", "submit_s", "start_s", "end_s",
 		"wait_s", "exec_s", "completion_s", "resizes", "node_seconds", "flexible",
-		"energy_j", "avg_power_w",
+		"energy_j", "avg_power_w", "throttled_s",
 	}); err != nil {
 		return err
 	}
@@ -85,6 +89,7 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 			fmt.Sprintf("%.3f", r.ExecSec), fmt.Sprintf("%.3f", r.CompletionSec),
 			fmt.Sprint(r.Resizes), fmt.Sprintf("%.1f", r.NodeSeconds), fmt.Sprint(r.Flexible),
 			fmt.Sprintf("%.1f", r.EnergyJ), fmt.Sprintf("%.1f", r.AvgPowerW),
+			fmt.Sprintf("%.1f", r.ThrottledSec),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

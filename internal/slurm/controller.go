@@ -34,6 +34,14 @@ type Config struct {
 	// shallowest). Allocating a sleeping node pays its wake latency
 	// before the job launches.
 	SleepState int
+	// PowerCapW bounds the instantaneous cluster draw (facility power
+	// budget). Before each start the controller projects the new
+	// allocation's draw and, when it would breach the cap, first
+	// throttles running jobs' nodes to deeper P-states (youngest job
+	// first), then starts the new job itself below P0, and finally
+	// defers the start — the cap-blocked job becomes the backfill
+	// reservation holder. Requires Energy; 0 disables capping.
+	PowerCapW float64
 }
 
 // DefaultConfig mirrors the paper's Slurm setup: backfill scheduling with
@@ -74,6 +82,9 @@ type Controller struct {
 
 // NewController builds a controller over the cluster's nodes.
 func NewController(c *platform.Cluster, cfg Config) *Controller {
+	if cfg.PowerCapW > 0 && cfg.Energy == nil {
+		panic("slurm: PowerCapW requires an energy accountant")
+	}
 	ctl := &Controller{
 		cluster:  c,
 		k:        c.K,
@@ -199,9 +210,16 @@ func (c *Controller) JobComplete(j *Job) {
 		panic(fmt.Sprintf("slurm: JobComplete on %v job %d", j.State, j.ID))
 	}
 	j.accumulateNodeSeconds(c.k.Now())
-	c.releaseNodes(j.alloc)
+	c.settleThrottle(j)
+	// Detach the job before releasing: releaseNodes triggers capRestore,
+	// which must not see the completed job as a throttle victim (its
+	// nodes are idle by then; pricing a phantom restore step against
+	// them would block genuinely throttled jobs from stepping up).
+	nodes := j.alloc
 	j.alloc = nil
+	j.pstate = 0
 	delete(c.running, j.ID)
+	c.releaseNodes(nodes)
 	j.State = StateCompleted
 	j.EndTime = c.k.Now()
 	c.completed++
@@ -213,31 +231,66 @@ func (c *Controller) JobComplete(j *Job) {
 	c.kick()
 }
 
-// allocateNodes takes n nodes from the free pool (lowest index first).
-func (c *Controller) allocateNodes(n int) []*platform.Node {
+// pickNodes returns the n free nodes an allocation would receive without
+// committing it. With energy accounting attached, awake nodes are
+// preferred over sleeping ones (energy-aware backfill: no wake latency,
+// no boot energy), each group in index order; otherwise the pool's index
+// order is kept.
+func (c *Controller) pickNodes(n int) []*platform.Node {
 	if n > len(c.free) {
 		panic(fmt.Sprintf("slurm: allocating %d of %d free nodes", n, len(c.free)))
 	}
-	nodes := c.free[:n:n]
-	c.free = c.free[n:]
+	if c.cfg.Energy == nil {
+		return append([]*platform.Node(nil), c.free[:n]...)
+	}
+	out := make([]*platform.Node, 0, n)
+	var sleeping []*platform.Node
+	for _, nd := range c.free {
+		if c.cfg.Energy.WakePreview(nd.Index) > 0 {
+			sleeping = append(sleeping, nd)
+		} else {
+			out = append(out, nd)
+		}
+	}
+	out = append(out, sleeping...)
+	return out[:n:n]
+}
+
+// allocateNodes takes n nodes from the free pool in pickNodes order.
+func (c *Controller) allocateNodes(n int) []*platform.Node {
+	nodes := c.pickNodes(n)
+	taken := make(map[*platform.Node]bool, len(nodes))
+	for _, nd := range nodes {
+		taken[nd] = true
+	}
+	rest := c.free[:0]
+	for _, nd := range c.free {
+		if !taken[nd] {
+			rest = append(rest, nd)
+		}
+	}
+	c.free = rest
 	return nodes
 }
 
 // releaseNodes returns nodes to the free pool, keeping it sorted.
-// Nodes drained while allocated complete their drain here.
+// Nodes drained while allocated complete their drain here. The freed
+// draw is headroom under a power cap: throttled jobs step back first.
 func (c *Controller) releaseNodes(nodes []*platform.Node) {
 	c.powerRelease(nodes)
 	c.free = append(c.free, c.filterDrained(nodes)...)
 	sort.Slice(c.free, func(i, j int) bool { return c.free[i].Index < c.free[j].Index })
+	c.capRestore()
 }
 
 // powerAllocate reports an allocation to the energy accountant and
 // returns the longest wake latency among nodes resumed from sleep; the
 // job's launch is delayed by that much (the machines are booting).
-// Expand-dance resizers charge their draw to the dance target: resizer
-// jobs are excluded from accounting, and the boot energy belongs to the
-// job that asked to grow.
-func (c *Controller) powerAllocate(j *Job, nodes []*platform.Node) sim.Time {
+// The nodes come up at P-state ps (0 unless the power-cap governor
+// admitted the job below full speed). Expand-dance resizers charge
+// their draw to the dance target: resizer jobs are excluded from
+// accounting, and the boot energy belongs to the job that asked to grow.
+func (c *Controller) powerAllocate(j *Job, nodes []*platform.Node, ps int) sim.Time {
 	if c.cfg.Energy == nil {
 		return 0
 	}
@@ -248,7 +301,7 @@ func (c *Controller) powerAllocate(j *Job, nodes []*platform.Node) sim.Time {
 	var wake sim.Time
 	for _, n := range nodes {
 		c.sleepGen[n.Index]++ // cancel any armed sleep timer
-		if w := c.cfg.Energy.NodeActive(n.Index, chargeTo, 0); w > 0 {
+		if w := c.cfg.Energy.NodeActive(n.Index, chargeTo, ps); w > 0 {
 			c.logNode(EvWake, n, chargeTo)
 			if w > wake {
 				wake = w
@@ -287,6 +340,12 @@ func (c *Controller) armSleep(n *platform.Node) {
 		}
 		c.cfg.Energy.NodeSleep(n.Index, c.cfg.SleepState)
 		c.logNode(EvSleep, n, 0)
+		if c.capped() {
+			// The idle draw just dropped: headroom for throttled jobs,
+			// and possibly enough watts to admit a cap-blocked start.
+			c.capRestore()
+			c.kick()
+		}
 	})
 }
 
@@ -316,13 +375,19 @@ func (c *Controller) removePending(j *Job) {
 // but the application only starts once all of them are up.
 func (c *Controller) startJob(j *Job, n int) {
 	j.alloc = c.allocateNodes(n)
-	wake := c.powerAllocate(j, j.alloc)
+	wake := c.powerAllocate(j, j.alloc, j.pstate)
 	j.State = StateRunning
 	j.StartTime = c.k.Now()
 	j.lastAllocated = j.StartTime
 	c.removePending(j)
 	c.running[j.ID] = j
 	c.log(EvStart, j, fmt.Sprintf("nodes=%d", n))
+	if j.pstate > 0 {
+		// Admitted below P0 by the power-cap governor: the throttle
+		// episode starts with the job.
+		j.throttledAt = j.StartTime
+		c.log(EvThrottle, j, fmt.Sprintf("p%d (cap admission)", j.pstate))
+	}
 	c.sample()
 	if j.Resizer {
 		// Resizer starts fire synchronously: the expand dance's abort

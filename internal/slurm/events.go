@@ -16,8 +16,10 @@ const (
 	EvDetach
 	EvGrow
 	EvBoost
-	EvSleep // node dropped to a sleep state after its idle timeout
-	EvWake  // sleeping node resumed for an allocation
+	EvSleep    // node dropped to a sleep state after its idle timeout
+	EvWake     // sleeping node resumed for an allocation
+	EvThrottle // power-cap governor stepped a job's nodes below P0
+	EvRestore  // throttled job stepped back toward P0 as headroom returned
 )
 
 func (k EventKind) String() string {
@@ -44,6 +46,10 @@ func (k EventKind) String() string {
 		return "SLEEP"
 	case EvWake:
 		return "WAKE"
+	case EvThrottle:
+		return "THROTTLE"
+	case EvRestore:
+		return "RESTORE"
 	}
 	return "?"
 }

@@ -89,9 +89,16 @@ type Job struct {
 	alloc          []*platform.Node
 	onResizerStart func(*Job) // resizer jobs: fired when allocated
 
+	// Power-cap governor state: the P-state the job's nodes currently
+	// run at (0 = full speed) and when the current throttle episode
+	// began. ThrottledSec accumulates closed episodes.
+	pstate      int
+	throttledAt sim.Time
+
 	// bookkeeping for metrics
 	ResizeCount   int
 	NodeSeconds   float64 // integral of allocated nodes over time
+	ThrottledSec  float64 // total seconds spent below P0 under the power cap
 	lastAllocated sim.Time
 }
 
@@ -100,6 +107,10 @@ func (j *Job) Alloc() []*platform.Node { return j.alloc }
 
 // NNodes returns the current allocation size.
 func (j *Job) NNodes() int { return len(j.alloc) }
+
+// PState returns the P-state the job's nodes run at (0 = full speed;
+// higher under power-cap throttling).
+func (j *Job) PState() int { return j.pstate }
 
 // WaitTime returns how long the job waited in the queue; valid once
 // started.

@@ -100,6 +100,33 @@ func (c *Controller) GrowJob(j *Job, nodes []*platform.Node) {
 	j.accumulateNodeSeconds(c.k.Now())
 	j.alloc = append(j.alloc, nodes...)
 	c.powerReattribute(nodes, j.ID)
+	if c.capped() {
+		// Under a power cap the grafted nodes may run at a different
+		// P-state than the job (the resizer can be admitted below P0):
+		// align the whole job on the deepest state involved — stepping
+		// down never breaches the cap; capRestore lifts it later. In
+		// the common all-at-P0 case nothing is touched, so no redundant
+		// power samples land in the trace.
+		ps := j.pstate
+		mismatch := false
+		for _, n := range nodes {
+			p := c.cfg.Energy.PStateOf(n.Index)
+			if p != j.pstate {
+				mismatch = true
+			}
+			if p > ps {
+				ps = p
+			}
+		}
+		if mismatch {
+			c.setJobPState(j, ps)
+			// The alignment may have been forced by a transiently tight
+			// budget (the resizer's deep admission): lift what the cap
+			// allows right away rather than waiting for the next
+			// completion/shrink/sleep event — there may never be one.
+			c.capRestore()
+		}
+	}
 	j.ResizeCount++
 	c.log(EvGrow, j, fmt.Sprintf("nodes=%d", len(j.alloc)))
 	c.sample()

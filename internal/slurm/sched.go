@@ -79,7 +79,10 @@ func (c *Controller) startSize(j *Job, free int) (int, bool) {
 // backfill. Kernel context.
 func (c *Controller) schedulePass() {
 	// Main pass: start jobs in priority order until the first one that
-	// cannot run; that job becomes the backfill reservation holder.
+	// cannot run; that job becomes the backfill reservation holder. A
+	// job can be blocked on nodes or — under a power cap — on watts:
+	// capAdmit throttles running jobs and lowers the start P-state
+	// before giving up.
 	var blocked *Job
 	for {
 		queue := c.PendingJobs()
@@ -92,6 +95,21 @@ func (c *Controller) schedulePass() {
 			if !ok {
 				blocked = j
 				break
+			}
+			if !c.capAdmit(j, n) {
+				// A moldable job can trade nodes for watts: shrink the
+				// start size toward MinNodes until the cap admits it.
+				admitted := false
+				for m := n - 1; m >= j.MinNodes && j.MinNodes < j.MaxNodes; m-- {
+					if c.capAdmit(j, m) {
+						n, admitted = m, true
+						break
+					}
+				}
+				if !admitted {
+					blocked = j
+					break
+				}
 			}
 			c.startJob(j, n)
 			started = true
@@ -124,7 +142,11 @@ func (c *Controller) schedulePass() {
 			if need > len(c.free) {
 				continue
 			}
-			fitsBefore := c.k.Now()+j.TimeLimit <= shadow
+			// A job handed sleeping nodes launches only after the worst
+			// wake latency, and one handed slow-class nodes runs past
+			// its reference-speed estimate: both must be priced in for
+			// the start to provably end before the shadow time.
+			fitsBefore := c.backfillEnd(j, need) <= shadow
 			if !fitsBefore && need > extra {
 				continue
 			}
@@ -133,12 +155,28 @@ func (c *Controller) schedulePass() {
 				// Moldable backfill: cap at what preserves the reservation
 				// unless it finishes before the shadow time.
 				n, _ = c.startSize(j, len(c.free))
+				if fitsBefore && n > need {
+					// A wider allocation reaches deeper into sleeping or
+					// slower nodes; re-check with what it would receive.
+					fitsBefore = c.backfillEnd(j, n) <= shadow
+				}
 				if !fitsBefore && n > extra {
 					n = extra
 				}
 				if n < j.MinNodes {
 					continue
 				}
+			}
+			// Backfill never throttles higher-priority running work to
+			// squeeze an opportunistic job under the power cap, but a
+			// moldable candidate may shrink toward MinNodes to fit the
+			// watt budget (fewer nodes only shorten wake/speed bounds,
+			// so fitsBefore and the extra cap still hold).
+			for n >= j.MinNodes && !c.capFits(n) {
+				n--
+			}
+			if n < j.MinNodes {
+				continue
 			}
 			c.startJob(j, n)
 			if !fitsBefore {
@@ -153,6 +191,31 @@ func (c *Controller) schedulePass() {
 	}
 }
 
+// backfillEnd bounds when a backfill start of j on n free nodes would
+// end: the launch waits for the worst-case wake latency of the nodes it
+// would receive (pickNodes order), and the time limit stretches by the
+// slowest machine-class P0 speed among them — the coupled step loop
+// really runs that much slower there.
+func (c *Controller) backfillEnd(j *Job, n int) sim.Time {
+	var wake sim.Time
+	speed := 1.0
+	for _, nd := range c.pickNodes(n) {
+		if c.cfg.Energy != nil {
+			if w := c.cfg.Energy.WakePreview(nd.Index); w > wake {
+				wake = w
+			}
+		}
+		if s := nd.Power.SpeedAt(0); s < speed {
+			speed = s
+		}
+	}
+	limit := j.TimeLimit
+	if speed > 0 && speed < 1 {
+		limit = sim.Time(float64(limit) / speed)
+	}
+	return c.k.Now() + wake + limit
+}
+
 // reservation computes (shadowTime, extraNodes) for EASY backfill: the
 // earliest time the blocked job can accumulate enough nodes assuming
 // running jobs end at StartTime+TimeLimit, and how many nodes beyond the
@@ -165,10 +228,18 @@ func (c *Controller) reservation(blocked *Job) (sim.Time, int) {
 	var rels []rel
 	for _, j := range c.running {
 		end := j.StartTime + j.TimeLimit
+		if s := c.jobSpeed(j); s > 0 && s < 1 {
+			// A throttled job's coupled step loop runs below P0 speed:
+			// price its release conservatively at the stretched limit.
+			end = j.StartTime + sim.Time(float64(j.TimeLimit)/s)
+		}
 		if end < c.k.Now() {
 			end = c.k.Now() // overran its estimate; assume imminent end
 		}
-		rels = append(rels, rel{end, len(j.alloc)})
+		// Drained nodes leave service when the job releases them: they
+		// never reach the free pool, so counting them would place the
+		// shadow time too early and overstate the extra nodes.
+		rels = append(rels, rel{end, len(c.filterDrained(j.alloc))})
 	}
 	sort.Slice(rels, func(i, k int) bool { return rels[i].t < rels[k].t })
 	avail := len(c.free)
