@@ -6,6 +6,7 @@
 //	dmrsim [-jobs N] [-nodes N] [-realistic] [-fixed] [-async] [-moldable]
 //	       [-period s] [-seed N] [-trace] [-events]
 //	       [-energy] [-sleep s] [-energypolicy] [-powercap W]
+//	       [-fastnodes N] [-classaware]
 package main
 
 import (
@@ -14,7 +15,9 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/metrics"
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -36,6 +39,8 @@ func main() {
 	sleepAfter := flag.Float64("sleep", 0, "idle seconds before free nodes sleep (implies -energy)")
 	energyPolicy := flag.Bool("energypolicy", false, "energy-aware DMR policy instead of Algorithm 1 (implies -energy)")
 	powerCap := flag.Float64("powercap", 0, "cluster power cap in watts: defer/throttle starts to stay under it (implies -energy)")
+	fastNodes := flag.Int("fastnodes", -1, "heterogeneous fleet: N reference-class nodes, the rest efficiency-class; jobs carry class demands (implies -energy)")
+	classAware := flag.Bool("classaware", false, "machine-class-aware placement and resize pricing (use with -fastnodes)")
 	flag.Parse()
 
 	var params workload.Params
@@ -60,6 +65,39 @@ func main() {
 		cfg.EnergyPolicy = *energyPolicy
 		cfg.PowerCapW = *powerCap
 	}
+	if *fastNodes >= 0 {
+		total := cfg.Nodes
+		if total == 0 {
+			total = platform.Marenostrum3().Nodes
+		}
+		if *fastNodes > total {
+			fmt.Fprintf(os.Stderr, "dmrsim: -fastnodes %d exceeds the %d-node fleet\n", *fastNodes, total)
+			os.Exit(2)
+		}
+		pc := platform.Marenostrum3()
+		pc.Nodes = total
+		// Skip empty classes, and bias the demand mix so jobs are only
+		// ever pinned to a class the fleet actually provides (the
+		// controller rejects unsatisfiable pins at submit).
+		mix := workload.DefaultClassMix()
+		switch *fastNodes {
+		case 0:
+			pc.Classes = []platform.MachineClass{{Count: total, Power: energy.EfficiencyProfile()}}
+			mix.FastBias = 0
+		case total:
+			pc.Classes = []platform.MachineClass{{Count: total, Power: energy.DefaultProfile()}}
+			mix.FastBias = 1
+		default:
+			pc.Classes = []platform.MachineClass{
+				{Count: *fastNodes, Power: energy.DefaultProfile()},
+				{Count: total - *fastNodes, Power: energy.EfficiencyProfile()},
+			}
+		}
+		cfg.Platform = &pc
+		cfg.Energy = true
+		params.ClassMix = mix
+	}
+	cfg.ClassAware = *classAware
 
 	specs := workload.Generate(params)
 	specs = workload.SetFlexible(specs, !*fixed)
@@ -84,6 +122,21 @@ func main() {
 		mode = "fixed"
 	}
 	fmt.Printf("workload: %d jobs (%s), %d nodes, seed %d\n", res.Jobs, mode, sys.Ctl.TotalNodes(), *seed)
+	if *fastNodes >= 0 {
+		slowTouched := 0
+		for _, j := range sys.Jobs() {
+			if j.TouchedSlowClass() {
+				slowTouched++
+			}
+		}
+		placement := "class-blind"
+		if *classAware {
+			placement = "class-aware"
+		}
+		fmt.Printf("  fleet:                %4d fast + %d efficiency nodes (%s)\n",
+			*fastNodes, sys.Ctl.TotalNodes()-*fastNodes, placement)
+		fmt.Printf("  slow-class exposure:  %10d jobs\n", slowTouched)
+	}
 	fmt.Printf("  makespan:             %10.0f s\n", res.Makespan.Seconds())
 	fmt.Printf("  avg waiting time:     %10.0f s\n", res.AvgWait.Seconds())
 	fmt.Printf("  avg execution time:   %10.0f s\n", res.AvgExec.Seconds())

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap] [-quick] [-seed N]
+//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet] [-quick] [-seed N]
 //
 // The energy experiment compares total cluster energy for rigid,
 // malleable (Algorithm 1) and energy-aware-policy runs of the same
@@ -14,6 +14,11 @@
 // and energy for rigid vs malleable runs: under a cap, job starts are
 // admission-controlled and running jobs are DVFS-throttled (the trace
 // never exceeds the cap), at the price of stretched runtimes.
+//
+// The mixedfleet experiment sweeps fast:efficiency fleet compositions
+// for rigid vs class-blind malleable vs class-aware placement of the
+// same seeded workload (with per-job machine-class demands), reporting
+// makespan, energy and the slow-class execution stretch.
 package main
 
 import (
@@ -44,7 +49,9 @@ func main() {
 	ablJobs := 50
 	energySizes := experiments.EnergySizes
 	capJobs, capLevels := experiments.PowerCapJobs, experiments.PowerCapLevels
+	mixedJobs := experiments.MixedFleetJobs
 	if *quick {
+		mixedJobs = 20
 		prelimSizes = []int{10, 25, 50}
 		realSizes = []int{20, 50}
 		fig8Jobs, fig9Sizes = 30, []int{10, 25}
@@ -109,6 +116,12 @@ func main() {
 		fmt.Print(experiments.FormatPowerCap(rows))
 		fmt.Println()
 		writePowerCapOutputs(rows)
+	})
+	run("mixedfleet", func() {
+		rows := experiments.MixedFleet(mixedJobs, nil, *seed)
+		fmt.Print(experiments.FormatMixedFleet(rows))
+		fmt.Println()
+		writeMixedFleetOutputs(rows)
 	})
 	run("ablations", func() {
 		fmt.Print(experiments.FormatAblation("Ablation: moldable submissions (paper §X future work)", experiments.Moldable(ablJobs, *seed)))
@@ -287,6 +300,87 @@ func writePowerCapOutputs(rows []experiments.PowerCapRow) {
 				[]string{"rigid", "malleable"},
 				[]string{"#1f77b4", "#d62728"},
 				[]*metrics.PowerTrace{r.Rigid.Res.Power, r.Malleable.Res.Power})
+		})
+	}
+}
+
+// writeMixedFleetOutputs dumps the mixed-fleet sweep: a summary CSV (one
+// row per fleet ratio and regime), per-ratio power-trace CSVs, makespan
+// and energy bar charts, and a power-draw SVG per ratio.
+func writeMixedFleetOutputs(rows []experiments.MixedFleetRow) {
+	regimes := func(r experiments.MixedFleetRow) []struct {
+		name string
+		run  experiments.MixedFleetRun
+	} {
+		return []struct {
+			name string
+			run  experiments.MixedFleetRun
+		}{
+			{"rigid", r.Rigid}, {"malleable", r.Malleable}, {"classaware", r.ClassAware},
+		}
+	}
+	if *csvDir != "" {
+		writeFile(filepath.Join(*csvDir, "mixedfleet_summary.csv"), func(f *os.File) error {
+			if _, err := fmt.Fprintln(f, "fast_nodes,slow_nodes,regime,makespan_s,energy_j,fast_class_j,slow_class_j,slow_stretch,slow_touched_jobs,resizes"); err != nil {
+				return err
+			}
+			for _, r := range rows {
+				for _, reg := range regimes(r) {
+					if _, err := fmt.Fprintf(f, "%d,%d,%s,%.3f,%.1f,%.1f,%.1f,%.4f,%d,%d\n",
+						r.FastNodes, r.SlowNodes, reg.name,
+						reg.run.Res.Makespan.Seconds(), reg.run.Res.EnergyJ,
+						reg.run.FastJ, reg.run.SlowJ,
+						reg.run.SlowStretch, reg.run.SlowTouched, reg.run.Res.Resizes); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		for _, r := range rows {
+			for _, reg := range regimes(r) {
+				name := fmt.Sprintf("mixedfleet_%df%ds_%s_power.csv", r.FastNodes, r.SlowNodes, reg.name)
+				trace := reg.run.Res.Power
+				writeFile(filepath.Join(*csvDir, name), func(f *os.File) error {
+					return metrics.WritePowerCSV(f, trace)
+				})
+			}
+		}
+	}
+	if *svgDir == "" {
+		return
+	}
+	names := []string{"rigid", "malleable", "class-aware"}
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c"}
+	var mkGroups, enGroups []metrics.BarGroup
+	for _, r := range rows {
+		label := fmt.Sprintf("%d:%d", r.FastNodes, r.SlowNodes)
+		mkGroups = append(mkGroups, metrics.BarGroup{Label: label, Values: []float64{
+			r.Rigid.Res.Makespan.Seconds(), r.Malleable.Res.Makespan.Seconds(), r.ClassAware.Res.Makespan.Seconds(),
+		}})
+		enGroups = append(enGroups, metrics.BarGroup{Label: label, Values: []float64{
+			r.Rigid.Res.EnergyJ / 1e3, r.Malleable.Res.EnergyJ / 1e3, r.ClassAware.Res.EnergyJ / 1e3,
+		}})
+	}
+	writeFile(filepath.Join(*svgDir, "mixedfleet_makespan.svg"), func(f *os.File) error {
+		return metrics.WriteBarsSVG(f, "Mixed fleet: makespan by fast:slow ratio", "makespan (s)", names, colors, mkGroups)
+	})
+	writeFile(filepath.Join(*svgDir, "mixedfleet_energy.svg"), func(f *os.File) error {
+		return metrics.WriteBarsSVG(f, "Mixed fleet: energy by fast:slow ratio", "energy (kJ)", names, colors, enGroups)
+	})
+	for _, r := range rows {
+		end := r.Rigid.Res.Makespan
+		for _, reg := range regimes(r) {
+			if reg.run.Res.Makespan > end {
+				end = reg.run.Res.Makespan
+			}
+		}
+		name := fmt.Sprintf("mixedfleet_%df%ds_power.svg", r.FastNodes, r.SlowNodes)
+		writeFile(filepath.Join(*svgDir, name), func(f *os.File) error {
+			return metrics.WritePowerSVG(f,
+				fmt.Sprintf("Cluster power draw (%d fast : %d efficiency)", r.FastNodes, r.SlowNodes), end, 0,
+				names, colors,
+				[]*metrics.PowerTrace{r.Rigid.Res.Power, r.Malleable.Res.Power, r.ClassAware.Res.Power})
 		})
 	}
 }

@@ -76,6 +76,14 @@ type Config struct {
 	// admission-controlled and running jobs are DVFS-throttled to stay
 	// under the cap (implies Energy; 0 disables capping).
 	PowerCapW float64
+	// ClassAware turns on machine-class-aware placement for
+	// heterogeneous fleets: the scheduler prefers faster classes, prices
+	// moldable and backfill candidates by the slowest class they would
+	// receive, and the DMR policy declines expansions whose added nodes
+	// would drag the coupled step loop below its current throughput.
+	// Per-job hard/soft class demands (workload ClassMix) are honored
+	// even without this switch.
+	ClassAware bool
 }
 
 // DefaultConfig returns the standard experiment setup.
@@ -109,12 +117,17 @@ func NewSystem(cfg Config) *System {
 	}
 	cl := platform.New(pc)
 	scfg := slurm.DefaultConfig()
+	scfg.ClassAware = cfg.ClassAware
 	if cfg.Policy {
 		switch {
+		case cfg.EnergyPolicy && cfg.ClassAware:
+			scfg.Policy = selectdmr.NewEnergyAwareWith(selectdmr.Policy{ClassAware: true})
 		case cfg.EnergyPolicy:
 			scfg.Policy = selectdmr.NewEnergyAware()
 		case cfg.PreferredOnlyPolicy:
 			scfg.Policy = selectdmr.NewPreferredOnly()
+		case cfg.ClassAware:
+			scfg.Policy = selectdmr.NewClassAware()
 		default:
 			scfg.Policy = selectdmr.New()
 		}
@@ -182,10 +195,46 @@ func (s *System) Submit(spec workload.Spec) *slurm.Job {
 		ReqNodes:  spec.Nodes,
 		TimeLimit: sim.Time(float64(spec.Runtime) * s.Cfg.TimeLimitFactor),
 		Flexible:  spec.Flexible,
+		ReqClass:  spec.ReqClass,
+		PrefClass: spec.PrefClass,
+	}
+	if j.ReqClass != "" {
+		// A class-pinned job can never outgrow its class: clamp the
+		// submission (and the app's resize ceiling) to the class size so
+		// it does not pend forever on a fleet where the class is small.
+		if cc := s.Cluster.ClassCount(j.ReqClass); cc > 0 {
+			if j.ReqNodes > cc {
+				j.ReqNodes = cc
+			}
+			if cfg.MinProcs > cc {
+				cfg.MinProcs = cc
+			}
+			if cfg.MaxProcs > cc {
+				cfg.MaxProcs = cc
+			}
+			if cfg.Preferred > cc {
+				cfg.Preferred = cc
+			}
+		}
 	}
 	if s.Cfg.MoldableSubmissions && spec.Flexible {
 		j.MinNodes = cfg.MinProcs
 		j.MaxNodes = spec.Nodes
+	}
+	if s.Cfg.ClassAware && j.ReqClass != "" && spec.Flexible && s.Cfg.Policy {
+		// A class-pinned submission at full size would wait until most
+		// of its class is simultaneously free — on a small class that
+		// serializes the whole partition. Under class-aware scheduling a
+		// flexible pinned job is molded within its class instead: start
+		// with what the class can give now and let the DMR policy grow
+		// it as the class frees up. The floor is the app's preferred
+		// size (not its bare minimum) so the job does not crawl up the
+		// whole factor chain in expand dances.
+		j.MinNodes = cfg.MinProcs
+		if cfg.Preferred > j.MinNodes && cfg.Preferred <= j.ReqNodes {
+			j.MinNodes = cfg.Preferred
+		}
+		j.MaxNodes = j.ReqNodes
 	}
 	rcfg := nanos.Config{
 		SchedPeriod:   cfg.SchedPeriod,

@@ -23,6 +23,25 @@ type Node struct {
 	Power energy.Profile
 }
 
+// Class returns the node's machine-class name (the Profile.Class of its
+// power model), the identity class-aware scheduling constraints match on.
+func (n *Node) Class() string { return n.Power.Class }
+
+// Speed returns the node's P0 execution speed relative to the reference
+// machine; efficiency-class nodes run below 1.0.
+func (n *Node) Speed() float64 { return n.Power.SpeedAt(0) }
+
+// EnergyPerWork returns the node's joules per unit of reference work at
+// P0 (active power over speed) — the figure of merit for steering
+// class-indifferent jobs toward the cheapest hardware that still keeps
+// their allocation class-pure.
+func (n *Node) EnergyPerWork() float64 {
+	if s := n.Speed(); s > 0 {
+		return n.Power.ActiveW(0) / s
+	}
+	return n.Power.ActiveW(0)
+}
+
 // MachineClass assigns a power profile to a contiguous block of nodes,
 // the heterogeneous-cluster idiom of energy-efficiency simulators.
 type MachineClass struct {
@@ -66,6 +85,32 @@ type Config struct {
 	Classes []MachineClass
 }
 
+// Validate reports whether the configuration can build a cluster. The
+// Classes partition is the subtle part: counts must be non-negative and
+// sum to at most Nodes. A negative count used to silently swallow every
+// subsequent class (the assignment cursor never advanced past it), and
+// an over-covering list silently truncated — both now fail loudly here
+// instead of producing a fleet that differs from the one configured.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("platform: cluster needs at least one node, got %d", c.Nodes)
+	}
+	covered := 0
+	for i, mc := range c.Classes {
+		if mc.Count < 0 {
+			return fmt.Errorf("platform: class %d (%q) has negative count %d", i, mc.Power.Class, mc.Count)
+		}
+		if mc.Count > 0 && len(mc.Power.PStates) == 0 {
+			return fmt.Errorf("platform: class %d (%q) has no P-states", i, mc.Power.Class)
+		}
+		covered += mc.Count
+	}
+	if covered > c.Nodes {
+		return fmt.Errorf("platform: classes cover %d nodes but the cluster has %d", covered, c.Nodes)
+	}
+	return nil
+}
+
 // Marenostrum3 returns the paper's testbed dimensions with calibrated
 // interconnect and storage constants (see DESIGN.md §5).
 func Marenostrum3() Config {
@@ -95,10 +140,12 @@ func New(cfg Config) *Cluster {
 	return NewOn(sim.NewKernel(), cfg)
 }
 
-// NewOn builds a cluster with cfg on an existing kernel.
+// NewOn builds a cluster with cfg on an existing kernel. Invalid
+// configurations panic: a silently mis-partitioned heterogeneous fleet
+// would corrupt every class-aware placement decision downstream.
 func NewOn(k *sim.Kernel, cfg Config) *Cluster {
-	if cfg.Nodes <= 0 {
-		panic("platform: cluster needs at least one node")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.PFSConcurrent <= 0 {
 		cfg.PFSConcurrent = 1
@@ -126,6 +173,17 @@ func NewOn(k *sim.Kernel, cfg Config) *Cluster {
 		c.Nodes = append(c.Nodes, &Node{Index: i, Name: fmt.Sprintf("node%03d", i), Cores: cfg.CoresPerNode, Power: power})
 	}
 	return c
+}
+
+// ClassCount returns how many nodes belong to the named machine class.
+func (c *Cluster) ClassCount(class string) int {
+	n := 0
+	for _, nd := range c.Nodes {
+		if nd.Class() == class {
+			n++
+		}
+	}
+	return n
 }
 
 // PowerProfiles returns the per-node power models in node-index order,

@@ -31,6 +31,12 @@ type JobRecord struct {
 	// ThrottledSec is how long the power-cap governor held the job's
 	// nodes below P0.
 	ThrottledSec float64
+	// ClassDemand is the job's machine-class demand: "class" for a hard
+	// constraint, "~class" for a soft preference, empty for indifferent.
+	ClassDemand string
+	// MinClassSpeed is the slowest machine-class P0 speed among the
+	// nodes the job ever held (1 when it only ran on reference nodes).
+	MinClassSpeed float64
 }
 
 // Accounting returns the records of all terminated jobs, ordered by ID.
@@ -42,16 +48,22 @@ func (c *Controller) Accounting() []JobRecord {
 			continue
 		}
 		rec := JobRecord{
-			ID:           j.ID,
-			Name:         j.Name,
-			State:        j.State,
-			ReqNodes:     j.ReqNodes,
-			SubmitSec:    j.SubmitTime.Seconds(),
-			EndSec:       j.EndTime.Seconds(),
-			Resizes:      j.ResizeCount,
-			NodeSeconds:  j.NodeSeconds,
-			Flexible:     j.Flexible,
-			ThrottledSec: j.ThrottledSec,
+			ID:            j.ID,
+			Name:          j.Name,
+			State:         j.State,
+			ReqNodes:      j.ReqNodes,
+			SubmitSec:     j.SubmitTime.Seconds(),
+			EndSec:        j.EndTime.Seconds(),
+			Resizes:       j.ResizeCount,
+			NodeSeconds:   j.NodeSeconds,
+			Flexible:      j.Flexible,
+			ThrottledSec:  j.ThrottledSec,
+			MinClassSpeed: j.MinClassSpeed(),
+		}
+		if j.ReqClass != "" {
+			rec.ClassDemand = j.ReqClass
+		} else if j.PrefClass != "" {
+			rec.ClassDemand = "~" + j.PrefClass
 		}
 		if j.State == StateCompleted {
 			rec.StartSec = j.StartTime.Seconds()
@@ -77,7 +89,7 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 	if err := cw.Write([]string{
 		"id", "name", "state", "req_nodes", "submit_s", "start_s", "end_s",
 		"wait_s", "exec_s", "completion_s", "resizes", "node_seconds", "flexible",
-		"energy_j", "avg_power_w", "throttled_s",
+		"energy_j", "avg_power_w", "throttled_s", "class_demand", "min_class_speed",
 	}); err != nil {
 		return err
 	}
@@ -90,6 +102,7 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 			fmt.Sprint(r.Resizes), fmt.Sprintf("%.1f", r.NodeSeconds), fmt.Sprint(r.Flexible),
 			fmt.Sprintf("%.1f", r.EnergyJ), fmt.Sprintf("%.1f", r.AvgPowerW),
 			fmt.Sprintf("%.1f", r.ThrottledSec),
+			r.ClassDemand, fmt.Sprintf("%.2f", r.MinClassSpeed),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

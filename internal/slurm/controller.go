@@ -42,6 +42,15 @@ type Config struct {
 	// defers the start — the cap-blocked job becomes the backfill
 	// reservation holder. Requires Energy; 0 disables capping.
 	PowerCapW float64
+	// ClassAware makes placement machine-class aware on heterogeneous
+	// fleets: allocations prefer faster classes, moldable starts are
+	// priced by the slowest class a candidate width would receive, job
+	// allocations keep a fast-first order so tail shrinks release the
+	// slowest nodes, and the selectdmr class policy prices expansions
+	// by the class of the nodes they would add. Hard ReqClass
+	// constraints and soft PrefClass affinities on jobs are honored
+	// regardless of this switch.
+	ClassAware bool
 }
 
 // DefaultConfig mirrors the paper's Slurm setup: backfill scheduling with
@@ -168,6 +177,11 @@ func (c *Controller) CompletedJobs() int { return c.completed }
 // Submit enqueues a job. The controller assigns the ID and stamps the
 // submit time. Safe to call from kernel or process context.
 func (c *Controller) Submit(j *Job) *Job {
+	if j.ReqClass != "" && c.cluster.ClassCount(j.ReqClass) == 0 {
+		// No node will ever satisfy the constraint: the job would pend
+		// forever. A real RMS rejects such submissions at the door.
+		panic(fmt.Sprintf("slurm: job %q requires class %q, which no node provides", j.Name, j.ReqClass))
+	}
 	c.nextID++
 	j.ID = c.nextID
 	j.SubmitTime = c.k.Now()
@@ -231,34 +245,139 @@ func (c *Controller) JobComplete(j *Job) {
 	c.kick()
 }
 
-// pickNodes returns the n free nodes an allocation would receive without
-// committing it. With energy accounting attached, awake nodes are
-// preferred over sleeping ones (energy-aware backfill: no wake latency,
-// no boot energy), each group in index order; otherwise the pool's index
-// order is kept.
-func (c *Controller) pickNodes(n int) []*platform.Node {
-	if n > len(c.free) {
-		panic(fmt.Sprintf("slurm: allocating %d of %d free nodes", n, len(c.free)))
-	}
-	if c.cfg.Energy == nil {
-		return append([]*platform.Node(nil), c.free[:n]...)
-	}
-	out := make([]*platform.Node, 0, n)
-	var sleeping []*platform.Node
+// eligibleFree returns a fresh slice of the free nodes job j may use
+// (its hard class constraint applied), in index order.
+func (c *Controller) eligibleFree(j *Job) []*platform.Node {
+	out := make([]*platform.Node, 0, len(c.free))
 	for _, nd := range c.free {
-		if c.cfg.Energy.WakePreview(nd.Index) > 0 {
-			sleeping = append(sleeping, nd)
-		} else {
+		if j == nil || j.ClassEligible(nd) {
 			out = append(out, nd)
 		}
 	}
-	out = append(out, sleeping...)
-	return out[:n:n]
+	return out
+}
+
+// freeFor returns how many free nodes job j may be allocated.
+func (c *Controller) freeFor(j *Job) int {
+	if j == nil || j.ReqClass == "" {
+		return len(c.free)
+	}
+	n := 0
+	for _, nd := range c.free {
+		if j.ClassEligible(nd) {
+			n++
+		}
+	}
+	return n
+}
+
+// pickAnchor returns the speed class an allocation for j should grow
+// around: the slowest P0 speed of the job's current allocation — or,
+// for an expand-dance resizer, of its dance target's allocation, since
+// the nodes end up grafted there. ok is false for fresh starts (nothing
+// allocated yet) and outside ClassAware mode.
+func (c *Controller) pickAnchor(j *Job) (float64, bool) {
+	if j == nil || !c.cfg.ClassAware {
+		return 0, false
+	}
+	a := j
+	if j.Resizer && j.Dependency.Type == DepExpand {
+		if t := c.jobs[j.Dependency.JobID]; t != nil {
+			a = t
+		}
+	}
+	if len(a.alloc) == 0 {
+		return 0, false
+	}
+	min := 1.0
+	for _, nd := range a.alloc {
+		if s := nd.Speed(); s < min {
+			min = s
+		}
+	}
+	return min, true
+}
+
+// pickNodes returns the n free nodes an allocation for job j would
+// receive without committing it. The candidate pool is j's eligible free
+// nodes, ordered by descending affinity:
+//
+//  1. the job's soft-preferred class before any other — but only when
+//     the whole width fits in that class: the coupled step loop runs at
+//     its slowest rank, so a partially-honored preference caps the
+//     premium nodes at the slow pace and serves nobody,
+//  2. under ClassAware, nodes matching the job's anchor class first —
+//     an expansion wants the class the job already runs at, because
+//     mismatched extras burn power at fractional throughput,
+//  3. under ClassAware, cheaper work first (ascending P0 joules per
+//     unit of reference work): class-indifferent jobs are steered to
+//     the efficiency class, keeping the premium class free for the
+//     jobs that pinned or preferred it,
+//  4. with energy accounting attached, awake nodes before sleeping ones
+//     (no wake latency, no boot energy),
+//  5. node-index order (determinism).
+func (c *Controller) pickNodes(j *Job, n int) []*platform.Node {
+	pool := c.eligibleFree(j)
+	if n > len(pool) {
+		panic(fmt.Sprintf("slurm: allocating %d of %d eligible free nodes", n, len(pool)))
+	}
+	pref := ""
+	if j != nil && j.PrefClass != "" {
+		inPref := 0
+		for _, nd := range pool {
+			if nd.Class() == j.PrefClass {
+				inPref++
+			}
+		}
+		if inPref >= n {
+			pref = j.PrefClass
+		}
+	}
+	anchor, anchored := c.pickAnchor(j)
+	byAffinity := func(a, b *platform.Node) bool {
+		if pref != "" {
+			ma, mb := a.Class() == pref, b.Class() == pref
+			if ma != mb {
+				return ma
+			}
+		}
+		if anchored {
+			ma, mb := a.Speed() == anchor, b.Speed() == anchor
+			if ma != mb {
+				return ma
+			}
+		}
+		if c.cfg.ClassAware {
+			if ca, cb := a.EnergyPerWork(), b.EnergyPerWork(); ca != cb {
+				return ca < cb
+			}
+		}
+		if c.cfg.Energy != nil {
+			aa, ab := c.cfg.Energy.WakePreview(a.Index) == 0, c.cfg.Energy.WakePreview(b.Index) == 0
+			if aa != ab {
+				return aa
+			}
+		}
+		return false
+	}
+	sort.SliceStable(pool, func(a, b int) bool { return byAffinity(pool[a], pool[b]) })
+	if c.cfg.ClassAware && !anchored && pref == "" && n > 0 {
+		// Fresh start without a preference: the cheapest-first pick
+		// fixes which classes the width must touch — pool[n-1] is the
+		// priciest node it cannot avoid. Re-anchor to that class and
+		// resort, so a job that must dip beyond the efficiency class
+		// goes pure at the dip class instead of mixing: a mixed
+		// allocation runs every node at the slowest rank's pace, the
+		// worst point of the energy/makespan trade-off.
+		anchor, anchored = pool[n-1].Speed(), true
+		sort.SliceStable(pool, func(a, b int) bool { return byAffinity(pool[a], pool[b]) })
+	}
+	return pool[:n:n]
 }
 
 // allocateNodes takes n nodes from the free pool in pickNodes order.
-func (c *Controller) allocateNodes(n int) []*platform.Node {
-	nodes := c.pickNodes(n)
+func (c *Controller) allocateNodes(j *Job, n int) []*platform.Node {
+	nodes := c.pickNodes(j, n)
 	taken := make(map[*platform.Node]bool, len(nodes))
 	for _, nd := range nodes {
 		taken[nd] = true
@@ -374,7 +493,17 @@ func (c *Controller) removePending(j *Job) {
 // slowest wake transition — the nodes draw active power while booting
 // but the application only starts once all of them are up.
 func (c *Controller) startJob(j *Job, n int) {
-	j.alloc = c.allocateNodes(n)
+	j.alloc = c.allocateNodes(j, n)
+	if c.cfg.ClassAware {
+		// Keep the stored allocation fast-first (stable by index) so a
+		// later tail shrink releases the slowest nodes first and lifts
+		// the coupled step loop's pace — the same invariant GrowJob
+		// maintains. Safe before launch: no rank mapping exists yet.
+		sort.SliceStable(j.alloc, func(a, b int) bool {
+			return j.alloc[a].Speed() > j.alloc[b].Speed()
+		})
+	}
+	j.noteClassSpeeds(j.alloc)
 	wake := c.powerAllocate(j, j.alloc, j.pstate)
 	j.State = StateRunning
 	j.StartTime = c.k.Now()

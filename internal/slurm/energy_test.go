@@ -115,7 +115,7 @@ func TestAccountingCSVCarriesEnergy(t *testing.T) {
 		t.Fatalf("%d CSV lines", len(lines))
 	}
 	fields := strings.Split(lines[1], ",")
-	if len(fields) != 16 {
+	if len(fields) != 18 {
 		t.Fatalf("%d fields: %v", len(fields), fields)
 	}
 	if fields[13] == "0.0" {

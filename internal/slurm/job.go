@@ -72,6 +72,13 @@ type Job struct {
 	MinNodes int
 	MaxNodes int
 
+	// Machine-class demands (heterogeneous fleets). ReqClass is a hard
+	// constraint: the job only ever runs on nodes of that class (the
+	// Slurm --constraint analog). PrefClass is a soft affinity: the
+	// allocator orders matching nodes first but falls back to any class.
+	ReqClass  string
+	PrefClass string
+
 	TimeLimit  sim.Time // user runtime estimate, drives backfill reservations
 	SubmitTime sim.Time
 	StartTime  sim.Time
@@ -100,6 +107,37 @@ type Job struct {
 	NodeSeconds   float64 // integral of allocated nodes over time
 	ThrottledSec  float64 // total seconds spent below P0 under the power cap
 	lastAllocated sim.Time
+	minClassSpeed float64 // slowest P0 speed ever allocated (0 = never allocated)
+}
+
+// ClassEligible reports whether node nd satisfies the job's hard class
+// constraint (every node qualifies for an unconstrained job).
+func (j *Job) ClassEligible(nd *platform.Node) bool {
+	return j.ReqClass == "" || nd.Class() == j.ReqClass
+}
+
+// MinClassSpeed returns the slowest machine-class P0 speed among every
+// node the job was ever allocated, or 1 if it never held one — the
+// mixed-fleet experiments' slow-class stretch is computed from it.
+func (j *Job) MinClassSpeed() float64 {
+	if j.minClassSpeed == 0 {
+		return 1
+	}
+	return j.minClassSpeed
+}
+
+// TouchedSlowClass reports whether the job ever held a node slower than
+// the reference class.
+func (j *Job) TouchedSlowClass() bool { return j.MinClassSpeed() < 1 }
+
+// noteClassSpeeds folds freshly allocated nodes into the slow-class
+// bookkeeping.
+func (j *Job) noteClassSpeeds(nodes []*platform.Node) {
+	for _, nd := range nodes {
+		if s := nd.Speed(); j.minClassSpeed == 0 || s < j.minClassSpeed {
+			j.minClassSpeed = s
+		}
+	}
 }
 
 // Alloc returns the job's current node allocation (nil when not running).

@@ -72,6 +72,86 @@ func (v *QueueView) PendingEligible() []*Job {
 // BoostJob grants a pending job maximum priority.
 func (v *QueueView) BoostJob(id int) { v.ctl.BoostJob(id) }
 
+// ClassAware reports whether the controller runs class-aware placement;
+// policies use it to decide whether to price expansions by class.
+func (v *QueueView) ClassAware() bool { return v.ctl.cfg.ClassAware }
+
+// FreeNodesFor returns how many free nodes pending job t may be
+// allocated (its hard class constraint applied).
+func (v *QueueView) FreeNodesFor(t *Job) int { return v.ctl.freeFor(t) }
+
+// ReleasedEligible returns how many of the nodes a shrink of the
+// requesting job to n would release (its allocation tail) are usable by
+// pending job t. A shrink that frees only wrong-class nodes cannot seat
+// a class-constrained target, however many nodes it releases.
+func (v *QueueView) ReleasedEligible(t *Job, n int) int {
+	if n < 0 || n >= len(v.job.alloc) {
+		return 0
+	}
+	cnt := 0
+	for _, nd := range v.job.alloc[n:] {
+		if t.ClassEligible(nd) {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// ExpandSpeedPreview prices an expansion by the machine classes
+// involved: cur is the slowest P0 speed across the job's current
+// allocation, grown the slowest across current plus the extra free
+// nodes the allocator would hand it (pickNodes order, without
+// committing), and fastest the fastest speed among those extras (0 when
+// there are none). The coupled step loop runs at the slowest rank, so
+// grown < cur means the whole job slows down to pay for the added
+// width, while fastest > cur means premium nodes would be capped at the
+// job's pace — full draw at fractional throughput.
+func (v *QueueView) ExpandSpeedPreview(extra int) (cur, grown, fastest float64) {
+	cur = 1.0
+	for _, nd := range v.job.alloc {
+		if s := nd.Speed(); s < cur {
+			cur = s
+		}
+	}
+	grown = cur
+	if extra <= 0 {
+		return cur, grown, 0
+	}
+	if pool := v.ctl.freeFor(v.job); extra > pool {
+		extra = pool
+	}
+	for _, nd := range v.ctl.pickNodes(v.job, extra) {
+		s := nd.Speed()
+		if s < grown {
+			grown = s
+		}
+		if s > fastest {
+			fastest = s
+		}
+	}
+	return cur, grown, fastest
+}
+
+// ExpandWakesNodes reports whether an expansion by extra nodes would be
+// handed any sleeping node (pickNodes order, without committing).
+// Expansion onto awake idle nodes is race-to-idle: they burn idle watts
+// until their sleep timeout anyway, so spending them on throughput is
+// cheap. Waking sleeping hardware for an opportunistic expansion is not.
+func (v *QueueView) ExpandWakesNodes(extra int) bool {
+	if v.ctl.cfg.Energy == nil {
+		return false
+	}
+	if pool := v.ctl.freeFor(v.job); extra > pool {
+		extra = pool
+	}
+	for _, nd := range v.ctl.pickNodes(v.job, extra) {
+		if v.ctl.cfg.Energy.WakePreview(nd.Index) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // SelectPlugin decides reconfiguration requests. Implementations must be
 // pure apart from BoostJob: the controller performs the granted action.
 type SelectPlugin interface {

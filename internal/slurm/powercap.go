@@ -113,14 +113,15 @@ func (c *Controller) setJobPState(j *Job, ps int) {
 	j.pstate = ps
 }
 
-// capFits reports whether starting n free nodes at P0 stays under the
-// cap without any throttling — the conservative check backfill uses (an
-// opportunistic backfilled job must not slow higher-priority work).
-func (c *Controller) capFits(n int) bool {
+// capFits reports whether starting job j on n free nodes at P0 stays
+// under the cap without any throttling — the conservative check backfill
+// uses (an opportunistic backfilled job must not slow higher-priority
+// work).
+func (c *Controller) capFits(j *Job, n int) bool {
 	if !c.capped() {
 		return true
 	}
-	delta := c.allocDeltaW(c.pickNodes(n), 0)
+	delta := c.allocDeltaW(c.pickNodes(j, n), 0)
 	return c.cfg.Energy.TotalPowerW()+delta <= c.cfg.PowerCapW+powerSlack
 }
 
@@ -134,7 +135,7 @@ func (c *Controller) capAdmit(j *Job, n int) bool {
 		return true
 	}
 	e := c.cfg.Energy
-	nodes := c.pickNodes(n)
+	nodes := c.pickNodes(j, n)
 	victims := c.throttleOrder()
 	shedable := 0.0
 	for _, v := range victims {

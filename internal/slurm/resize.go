@@ -2,6 +2,7 @@ package slurm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/platform"
 )
@@ -31,6 +32,12 @@ func (c *Controller) SubmitResizer(target *Job, n int, onStart func(rj *Job)) *J
 		TimeLimit:  target.TimeLimit,
 		Resizer:    true,
 		Dependency: Dependency{Type: DepExpand, JobID: target.ID},
+		// The resizer's allocation is destined for the target: it must
+		// satisfy the target's hard class constraint and shares its
+		// affinity, so an expansion grows onto the nodes the target
+		// would have chosen for itself.
+		ReqClass:  target.ReqClass,
+		PrefClass: target.PrefClass,
 	}
 	rj.onResizerStart = onStart
 	return c.Submit(rj)
@@ -99,6 +106,17 @@ func (c *Controller) GrowJob(j *Job, nodes []*platform.Node) {
 	}
 	j.accumulateNodeSeconds(c.k.Now())
 	j.alloc = append(j.alloc, nodes...)
+	j.noteClassSpeeds(nodes)
+	if c.cfg.ClassAware {
+		// Keep the allocation fast-first (stable by index) so a later
+		// tail shrink releases the slowest nodes first. Safe here: the
+		// runtime respawns its process set over the new allocation
+		// right after the grow, so no live rank mapping depends on the
+		// old order.
+		sort.SliceStable(j.alloc, func(a, b int) bool {
+			return j.alloc[a].Speed() > j.alloc[b].Speed()
+		})
+	}
 	c.powerReattribute(nodes, j.ID)
 	if c.capped() {
 		// Under a power cap the grafted nodes may run at a different

@@ -91,11 +91,14 @@ func (c *Controller) schedulePass() {
 			if !c.eligible(j) {
 				continue
 			}
-			n, ok := c.startSize(j, len(c.free))
+			// A class-constrained job only competes for its class's free
+			// nodes; unconstrained jobs see the whole pool.
+			n, ok := c.startSize(j, c.freeFor(j))
 			if !ok {
 				blocked = j
 				break
 			}
+			n = c.classClampSize(j, n)
 			if !c.capAdmit(j, n) {
 				// A moldable job can trade nodes for watts: shrink the
 				// start size toward MinNodes until the cap admits it.
@@ -127,8 +130,23 @@ func (c *Controller) schedulePass() {
 	// could start if running jobs end at their time-limit estimates, and
 	// the extra nodes left over at that moment. A lower-priority job may
 	// start now if it fits and either finishes before the shadow time or
-	// leaves the reservation intact.
+	// leaves the reservation intact. The reservation is held in the
+	// blocked job's *eligible* nodes: a candidate only erodes it by the
+	// blocked-class nodes it would actually take, so other-class nodes
+	// backfill freely around a class-constrained holder.
 	shadow, extra := c.reservation(blocked)
+	eligTake := func(j *Job, n int) int {
+		if blocked.ReqClass == "" {
+			return n
+		}
+		take := 0
+		for _, nd := range c.pickNodes(j, n) {
+			if blocked.ClassEligible(nd) {
+				take++
+			}
+		}
+		return take
+	}
 	for {
 		started := false
 		for _, j := range c.PendingJobs() {
@@ -139,7 +157,7 @@ func (c *Controller) schedulePass() {
 			if j.MinNodes < j.MaxNodes {
 				need = j.MinNodes
 			}
-			if need > len(c.free) {
+			if need > c.freeFor(j) {
 				continue
 			}
 			// A job handed sleeping nodes launches only after the worst
@@ -147,21 +165,22 @@ func (c *Controller) schedulePass() {
 			// its reference-speed estimate: both must be priced in for
 			// the start to provably end before the shadow time.
 			fitsBefore := c.backfillEnd(j, need) <= shadow
-			if !fitsBefore && need > extra {
+			if !fitsBefore && eligTake(j, need) > extra {
 				continue
 			}
 			n := need
 			if j.MinNodes < j.MaxNodes {
 				// Moldable backfill: cap at what preserves the reservation
 				// unless it finishes before the shadow time.
-				n, _ = c.startSize(j, len(c.free))
+				n, _ = c.startSize(j, c.freeFor(j))
+				n = c.classClampSize(j, n)
 				if fitsBefore && n > need {
 					// A wider allocation reaches deeper into sleeping or
 					// slower nodes; re-check with what it would receive.
 					fitsBefore = c.backfillEnd(j, n) <= shadow
 				}
-				if !fitsBefore && n > extra {
-					n = extra
+				for !fitsBefore && n >= j.MinNodes && eligTake(j, n) > extra {
+					n--
 				}
 				if n < j.MinNodes {
 					continue
@@ -172,7 +191,7 @@ func (c *Controller) schedulePass() {
 			// moldable candidate may shrink toward MinNodes to fit the
 			// watt budget (fewer nodes only shorten wake/speed bounds,
 			// so fitsBefore and the extra cap still hold).
-			for n >= j.MinNodes && !c.capFits(n) {
+			for n >= j.MinNodes && !c.capFits(j, n) {
 				n--
 			}
 			if n < j.MinNodes {
@@ -180,7 +199,11 @@ func (c *Controller) schedulePass() {
 			}
 			c.startJob(j, n)
 			if !fitsBefore {
-				extra -= n
+				for _, nd := range j.alloc {
+					if blocked.ClassEligible(nd) {
+						extra--
+					}
+				}
 			}
 			started = true
 			break
@@ -191,6 +214,33 @@ func (c *Controller) schedulePass() {
 	}
 }
 
+// classClampSize prices a moldable start width by the slowest class it
+// would receive. Under ClassAware, taking more nodes is only worth it
+// while the added parallelism outweighs dragging the coupled step loop
+// down to a slower class — the job runs at the pace of its slowest
+// node. Returns the width in [MinNodes, n] with the highest effective
+// throughput (width × slowest-class P0 speed), ties to the widest.
+func (c *Controller) classClampSize(j *Job, n int) int {
+	if !c.cfg.ClassAware || j.MinNodes >= j.MaxNodes || n <= j.MinNodes {
+		return n
+	}
+	pick := c.pickNodes(j, n)
+	best, bestEff := n, 0.0
+	slowest := 1.0
+	for m := 1; m <= n; m++ {
+		if s := pick[m-1].Speed(); s < slowest {
+			slowest = s
+		}
+		if m < j.MinNodes {
+			continue
+		}
+		if eff := float64(m) * slowest; eff >= bestEff {
+			best, bestEff = m, eff
+		}
+	}
+	return best
+}
+
 // backfillEnd bounds when a backfill start of j on n free nodes would
 // end: the launch waits for the worst-case wake latency of the nodes it
 // would receive (pickNodes order), and the time limit stretches by the
@@ -199,13 +249,13 @@ func (c *Controller) schedulePass() {
 func (c *Controller) backfillEnd(j *Job, n int) sim.Time {
 	var wake sim.Time
 	speed := 1.0
-	for _, nd := range c.pickNodes(n) {
+	for _, nd := range c.pickNodes(j, n) {
 		if c.cfg.Energy != nil {
 			if w := c.cfg.Energy.WakePreview(nd.Index); w > wake {
 				wake = w
 			}
 		}
-		if s := nd.Power.SpeedAt(0); s < speed {
+		if s := nd.Speed(); s < speed {
 			speed = s
 		}
 	}
@@ -217,9 +267,12 @@ func (c *Controller) backfillEnd(j *Job, n int) sim.Time {
 }
 
 // reservation computes (shadowTime, extraNodes) for EASY backfill: the
-// earliest time the blocked job can accumulate enough nodes assuming
-// running jobs end at StartTime+TimeLimit, and how many nodes beyond the
-// blocked job's requirement will be free at that time.
+// earliest time the blocked job can accumulate enough *eligible* nodes
+// assuming running jobs end at StartTime+TimeLimit, and how many
+// eligible nodes beyond the blocked job's requirement will be free at
+// that time. For a class-constrained blocked job only releases of its
+// class count — a slow-class job ending early cannot seat a Xeon-pinned
+// holder, so pricing its release would place the shadow time too early.
 func (c *Controller) reservation(blocked *Job) (sim.Time, int) {
 	type rel struct {
 		t sim.Time
@@ -239,10 +292,19 @@ func (c *Controller) reservation(blocked *Job) (sim.Time, int) {
 		// Drained nodes leave service when the job releases them: they
 		// never reach the free pool, so counting them would place the
 		// shadow time too early and overstate the extra nodes.
-		rels = append(rels, rel{end, len(c.filterDrained(j.alloc))})
+		releases := 0
+		for _, nd := range c.filterDrained(j.alloc) {
+			if blocked.ClassEligible(nd) {
+				releases++
+			}
+		}
+		if releases == 0 {
+			continue
+		}
+		rels = append(rels, rel{end, releases})
 	}
 	sort.Slice(rels, func(i, k int) bool { return rels[i].t < rels[k].t })
-	avail := len(c.free)
+	avail := c.freeFor(blocked)
 	need := blocked.ReqNodes
 	if blocked.MinNodes < blocked.MaxNodes {
 		need = blocked.MinNodes

@@ -35,6 +35,12 @@ const DefaultDenseQueue = 3
 // density threshold.
 func NewEnergyAware() *EnergyAware { return &EnergyAware{DenseQueue: DefaultDenseQueue} }
 
+// NewEnergyAwareWith returns the energy-aware plug-in over a configured
+// Algorithm 1 core (e.g. one with ClassAware expansion pricing).
+func NewEnergyAwareWith(base Policy) *EnergyAware {
+	return &EnergyAware{base: base, DenseQueue: DefaultDenseQueue}
+}
+
 var _ slurm.SelectPlugin = (*EnergyAware)(nil)
 
 // Decide runs the energy-biased policy for one dmr_check_status request.

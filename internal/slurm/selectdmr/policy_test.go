@@ -251,10 +251,15 @@ func TestChainHelpers(t *testing.T) {
 	if n, ok := maxProcsTo(8, 32, 2, 32, 10); !ok || n != 16 {
 		t.Errorf("maxProcsTo(8→32, free 10) = %d,%v; want 16 (24 extra nodes unaffordable)", n, ok)
 	}
-	if n, ok := minProcsRun(16, 2, 2, 4, 8); !ok || n != 8 {
+	// Target needs 8 nodes, 4 already free: shrinking 16→8 releases 8,
+	// 4+8 >= 8, so the minimal release is the first chain step.
+	admits := func(free, tneed int) func(n int) bool {
+		return func(n int) bool { return free+(16-n) >= tneed }
+	}
+	if n, ok := minProcsRun(16, 2, 2, admits(4, 8)); !ok || n != 8 {
 		t.Errorf("minProcsRun = %d,%v; want 8", n, ok)
 	}
-	if _, ok := minProcsRun(4, 2, 2, 0, 32); ok {
+	if _, ok := minProcsRun(4, 2, 2, func(n int) bool { return 4-n >= 32 }); ok {
 		t.Error("minProcsRun should fail when even the deepest shrink cannot admit the target")
 	}
 }

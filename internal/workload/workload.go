@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/apps"
+	"repro/internal/energy"
 	"repro/internal/sim"
 )
 
@@ -22,6 +23,41 @@ type Spec struct {
 	Runtime  sim.Time // expected runtime at the submitted size
 	Arrival  sim.Time // absolute submission time
 	Flexible bool     // participates in DMR reconfiguration
+
+	// Machine-class demands on heterogeneous fleets (ClassMix): a hard
+	// constraint, a soft preference, or both empty (indifferent).
+	ReqClass  string
+	PrefClass string
+}
+
+// ClassMix shapes per-job machine-class demands for heterogeneous
+// fleets: a realistic workload is a blend of class-pinned jobs (codes
+// needing a specific ISA or accelerator), class-preferring jobs
+// (faster-is-nicer but anything runs), and indifferent jobs. Demands
+// draw from an RNG stream independent of the base generator, so any
+// mix — including the zero value, which generates no demands — leaves
+// sizes, runtimes and arrivals byte-identical to earlier seeds.
+type ClassMix struct {
+	Pinned    float64 // probability a job hard-requires its drawn class
+	Preferred float64 // probability it soft-prefers the class instead
+	FastBias  float64 // probability the drawn class is FastClass
+	FastClass string  // reference-speed class name
+	SlowClass string  // efficiency class name
+}
+
+func (m ClassMix) enabled() bool { return m.Pinned > 0 || m.Preferred > 0 }
+
+// DefaultClassMix returns the mixed-fleet demand blend used by the
+// mixed-fleet experiments: most jobs indifferent or merely preferring,
+// a small pinned core, biased toward the reference Xeon class.
+func DefaultClassMix() ClassMix {
+	return ClassMix{
+		Pinned:    0.15,
+		Preferred: 0.45,
+		FastBias:  0.7,
+		FastClass: energy.DefaultProfile().Class,
+		SlowClass: energy.EfficiencyProfile().Class,
+	}
 }
 
 // Params tunes the generator.
@@ -35,6 +71,7 @@ type Params struct {
 	RepeatProb  float64  // geometric repeated-run probability
 	FlexRatio   float64  // probability that a job is flexible
 	Classes     []apps.Class
+	ClassMix    ClassMix // machine-class demand blend (zero: no demands)
 	Seed        int64
 }
 
@@ -125,6 +162,10 @@ func sampleRuntime(rng *rand.Rand, p Params, nodes int) sim.Time {
 // Generate produces the deterministic job stream for p.
 func Generate(p Params) []Spec {
 	rng := rand.New(rand.NewSource(p.Seed))
+	// Class demands draw from an independent stream: enabling a ClassMix
+	// must not perturb sizes, runtimes or arrivals, so the mixed-fleet
+	// study compares the same base workload with and without demands.
+	classRng := rand.New(rand.NewSource(p.Seed ^ 0x636c6173736d6978)) // "classmix"
 	specs := make([]Spec, 0, p.Jobs)
 	var at sim.Time
 	classIdx := 0
@@ -150,6 +191,20 @@ func Generate(p Params) []Spec {
 		}
 		flexible := rng.Float64() < p.FlexRatio
 
+		var reqClass, prefClass string
+		if p.ClassMix.enabled() {
+			mc := p.ClassMix.SlowClass
+			if classRng.Float64() < p.ClassMix.FastBias {
+				mc = p.ClassMix.FastClass
+			}
+			switch d := classRng.Float64(); {
+			case d < p.ClassMix.Pinned:
+				reqClass = mc
+			case d < p.ClassMix.Pinned+p.ClassMix.Preferred:
+				prefClass = mc
+			}
+		}
+
 		repeats := 1
 		for p.RepeatProb > 0 && rng.Float64() < p.RepeatProb && repeats < 5 {
 			repeats++
@@ -159,12 +214,14 @@ func Generate(p Params) []Spec {
 				at += sim.Time(rng.ExpFloat64() * float64(p.MeanArrival))
 			}
 			specs = append(specs, Spec{
-				Index:    len(specs),
-				Class:    class,
-				Nodes:    nodes,
-				Runtime:  runtime,
-				Arrival:  at,
-				Flexible: flexible,
+				Index:     len(specs),
+				Class:     class,
+				Nodes:     nodes,
+				Runtime:   runtime,
+				Arrival:   at,
+				Flexible:  flexible,
+				ReqClass:  reqClass,
+				PrefClass: prefClass,
 			})
 		}
 	}
@@ -178,6 +235,32 @@ func SetFlexible(specs []Spec, flex bool) []Spec {
 	copy(out, specs)
 	for i := range out {
 		out[i].Flexible = flex
+	}
+	return out
+}
+
+// StripClasses returns a copy of specs with machine-class demands
+// removed entirely, for workloads aimed at homogeneous fleets.
+func StripClasses(specs []Spec) []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	for i := range out {
+		out[i].ReqClass, out[i].PrefClass = "", ""
+	}
+	return out
+}
+
+// StripPreferences returns a copy of specs with soft class preferences
+// removed but hard constraints kept — the class-blind baseline of the
+// mixed-fleet study. A pinned code cannot run on the wrong hardware
+// under any scheduler, so the blind regime still honors ReqClass; what
+// it lacks is every placement nicety (affinity ordering, class-pure
+// allocation, class-priced resizing).
+func StripPreferences(specs []Spec) []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	for i := range out {
+		out[i].PrefClass = ""
 	}
 	return out
 }

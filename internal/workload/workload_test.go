@@ -173,3 +173,63 @@ func TestGenerateQuickInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClassMixDemands(t *testing.T) {
+	params := Realistic(400, 7)
+	plain := Generate(params)
+	params.ClassMix = DefaultClassMix()
+	specs := Generate(params)
+
+	// The zero-value mix draws no randomness: everything except the
+	// class demands must be identical between the two workloads.
+	if len(plain) != len(specs) {
+		t.Fatalf("lengths %d vs %d", len(plain), len(specs))
+	}
+	for i := range specs {
+		if plain[i].ReqClass != "" || plain[i].PrefClass != "" {
+			t.Fatalf("spec %d of the zero-mix workload carries a class demand", i)
+		}
+		stripped := specs[i]
+		stripped.ReqClass, stripped.PrefClass = "", ""
+		if stripped != plain[i] {
+			t.Fatalf("spec %d differs beyond class demands:\n%+v\n%+v", i, plain[i], specs[i])
+		}
+	}
+
+	pinned, preferred, fast := 0, 0, 0
+	for _, s := range specs {
+		if s.ReqClass != "" && s.PrefClass != "" {
+			t.Fatalf("spec %d is both pinned and preferring", s.Index)
+		}
+		if s.ReqClass != "" {
+			pinned++
+		}
+		if s.PrefClass != "" {
+			preferred++
+		}
+		if c := s.ReqClass + s.PrefClass; c == DefaultClassMix().FastClass {
+			fast++
+		}
+	}
+	n := float64(len(specs))
+	if r := float64(pinned) / n; r < 0.08 || r > 0.25 {
+		t.Errorf("pinned ratio %.2f outside the mix's ~0.15", r)
+	}
+	if r := float64(preferred) / n; r < 0.33 || r > 0.57 {
+		t.Errorf("preferred ratio %.2f outside the mix's ~0.45", r)
+	}
+	if fast == 0 || fast == pinned+preferred {
+		t.Errorf("fast bias degenerate: %d of %d demands", fast, pinned+preferred)
+	}
+
+	// StripPreferences keeps hard pins, drops soft preferences.
+	blind := StripPreferences(specs)
+	for i := range blind {
+		if blind[i].PrefClass != "" {
+			t.Fatalf("spec %d kept its preference", i)
+		}
+		if blind[i].ReqClass != specs[i].ReqClass {
+			t.Fatalf("spec %d lost its hard pin", i)
+		}
+	}
+}
