@@ -160,6 +160,12 @@ func (s *System) AppConfig(spec workload.Spec) apps.Config {
 		iters := apps.FSConfig(0).Iterations
 		seqStep := sim.Time(int64(spec.Runtime) / int64(iters) * int64(spec.Nodes))
 		cfg = apps.FSConfig(seqStep)
+		if cfg.MaxProcs < spec.Nodes {
+			// Table I sizes FS for the paper's 20-node testbed; a wider
+			// submission (the cluster-scale workloads) may keep what it
+			// asked for rather than being resized down to the table cap.
+			cfg.MaxProcs = spec.Nodes
+		}
 	} else {
 		cfg = apps.ForClass(spec.Class)
 	}
@@ -270,6 +276,7 @@ func (s *System) Run() *metrics.WorkloadResult {
 	}
 	res := metrics.Collect(s.jobs, &s.Recorder.Trace)
 	if s.Energy != nil {
+		s.Energy.FlushSamples()
 		// Energy is measured over [0, makespan] so fixed and flexible
 		// runs of different lengths compare their own workload windows;
 		// trailing sleep timers past the last job end are excluded.

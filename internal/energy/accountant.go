@@ -54,8 +54,18 @@ type Accountant struct {
 	jobs   map[int]float64
 	totalW float64
 
+	// Pending coalesced power sample: transitions at one timestamp are
+	// folded into a single observation at the settled draw, published
+	// when the clock first moves past it (or at FlushSamples).
+	sampleArmed bool
+	sampleT     sim.Time
+	sampleW     float64
+
 	// OnPowerSample, when set, observes the total draw after every
-	// power-state transition (metrics power trace).
+	// power-state transition, coalesced per timestamp: a burst of
+	// transitions at one instant (a multi-node allocation, a governor
+	// throttle sweep) yields one sample at the settled draw instead of
+	// one per node (metrics power trace).
 	OnPowerSample func(t sim.Time, totalW float64)
 }
 
@@ -92,14 +102,32 @@ func (a *Accountant) advance(i int) {
 }
 
 // setDraw finalizes a transition of node i to the given draw and
-// publishes the new cluster total.
+// publishes the new cluster total. Samples are coalesced per timestamp:
+// an earlier instant's pending sample is emitted the moment a transition
+// lands at a later one, and the current instant's sample keeps absorbing
+// same-time transitions until then.
 func (a *Accountant) setDraw(i int, w float64) {
 	m := &a.nodes[i]
 	a.totalW += w - m.powerW
 	m.powerW = w
-	if a.OnPowerSample != nil {
-		a.OnPowerSample(a.k.Now(), a.totalW)
+	if a.OnPowerSample == nil {
+		return
 	}
+	now := a.k.Now()
+	if a.sampleArmed && a.sampleT != now {
+		a.OnPowerSample(a.sampleT, a.sampleW)
+	}
+	a.sampleArmed, a.sampleT, a.sampleW = true, now, a.totalW
+}
+
+// FlushSamples publishes the pending coalesced power sample, if any. Call
+// it after the simulation drains (no further transition can land at the
+// final timestamp) so the trace includes the last settled draw.
+func (a *Accountant) FlushSamples() {
+	if a.sampleArmed && a.OnPowerSample != nil {
+		a.OnPowerSample(a.sampleT, a.sampleW)
+	}
+	a.sampleArmed = false
 }
 
 // NodeActive marks node i allocated to jobID at P-state ps, returning

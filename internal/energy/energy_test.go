@@ -239,8 +239,15 @@ func TestPowerSampleHook(t *testing.T) {
 	k.At(10*sim.Second, func() { a.NodeIdle(0) })
 	k.At(20*sim.Second, func() { a.NodeSleep(0, 0); a.NodeSleep(1, 0) })
 	k.Run()
-	if len(samples) != 4 {
-		t.Fatalf("%d samples, want 4", len(samples))
+	a.FlushSamples()
+	// Samples are coalesced per timestamp: the two sleep transitions at
+	// t=20 s settle into one observation, so the trace reads t=0, t=10,
+	// t=20 — not one sample per node transition.
+	if len(samples) != 3 {
+		t.Fatalf("%d samples, want 3 (one per timestamp)", len(samples))
+	}
+	if times[len(times)-1] != 20*sim.Second {
+		t.Fatalf("final sample at %v, want 20 s", times[len(times)-1])
 	}
 	for i := 1; i < len(times); i++ {
 		if times[i] < times[i-1] {

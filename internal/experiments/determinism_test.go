@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestSchedulerDeterminismGolden pins the complete observable behavior of
+// the simulator on the 50-job realistic workload (flexible, with energy
+// accounting and idle sleep): the kernel's process-resume trace, the
+// controller's event log, and the accounting CSV, all golden-pinned. The
+// goldens were generated before the scheduler/kernel hot-path rewrite, so
+// this test is the oracle proving the optimized paths (indexed free
+// pools, pass-scoped placement cache, snapshot-priority queue, value-heap
+// calendar) are bit-identical to the reference implementation: a single
+// reordered event, start decision or re-timed sample shows up here.
+func TestSchedulerDeterminismGolden(t *testing.T) {
+	specs := workload.SetFlexible(workload.Generate(workload.Realistic(50, DefaultSeed)), true)
+	sys := core.NewSystem(energyConfig(false))
+
+	var trace bytes.Buffer
+	resumes := 0
+	sys.Cluster.K.Trace = func(tm sim.Time, what string) {
+		resumes++
+		fmt.Fprintf(&trace, "%d %s\n", int64(tm), what)
+	}
+	sys.SubmitAll(specs)
+	res := sys.Run()
+
+	var events bytes.Buffer
+	for _, ev := range sys.Ctl.Events {
+		fmt.Fprintf(&events, "%d %v %d %d %s\n", int64(ev.T), ev.Kind, ev.JobID, ev.Nodes, ev.Info)
+	}
+	var acct bytes.Buffer
+	if err := sys.Ctl.WriteAccountingCSV(&acct); err != nil {
+		t.Fatal(err)
+	}
+
+	summary := fmt.Sprintf("jobs %d\nmakespan_s %.3f\nenergy_j %.1f\n"+
+		"kernel_events %d\nproc_resumes %d\nresume_trace_sha256 %x\n"+
+		"ctl_events %d\nctl_events_sha256 %x\n",
+		res.Jobs, res.Makespan.Seconds(), res.EnergyJ,
+		sys.Cluster.K.Events(), resumes, sha256.Sum256(trace.Bytes()),
+		len(sys.Ctl.Events), sha256.Sum256(events.Bytes()))
+	checkGolden(t, "determinism_50j_summary.txt", []byte(summary))
+	checkGolden(t, "determinism_50j_accounting.csv", acct.Bytes())
+}

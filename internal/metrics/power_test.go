@@ -39,7 +39,8 @@ func TestAttachPowerRecordsTransitions(t *testing.T) {
 	a.NodeActive(0, 1, 0)
 	k.At(10*sim.Second, func() { a.NodeIdle(0) })
 	k.Run()
-	if len(r.PowerTrace.Samples) != 3 { // initial + 2 transitions
+	a.FlushSamples()                    // publish the final coalesced sample
+	if len(r.PowerTrace.Samples) != 3 { // initial + 2 transition instants
 		t.Fatalf("%d samples", len(r.PowerTrace.Samples))
 	}
 	p := energy.DefaultProfile()

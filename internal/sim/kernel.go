@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 )
@@ -15,25 +14,62 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap is a min-heap ordered by (time, sequence number).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// precedes orders events by (time, sequence number) — the kernel's total
+// execution order.
+func (e event) precedes(o event) bool {
+	if e.t != o.t {
+		return e.t < o.t
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return
+
+// eventHeap is a hand-rolled min-heap of event values ordered by
+// (time, sequence number). Values instead of pointers keep the calendar
+// allocation-free: pushing reuses the slice's backing array, and popping
+// zeroes the vacated slot so closures are released to the GC.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool { return h[i].precedes(h[j]) }
+
+func (h *eventHeap) push(ev event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the closure
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	*h = q
+	return top
 }
 
 // Kernel is a discrete-event simulation engine. All access must come from
@@ -41,9 +77,18 @@ func (h *eventHeap) Pop() (popped any) {
 // the kernel is currently executing; the kernel enforces this serialization
 // itself, so no further locking is required by users.
 type Kernel struct {
-	now     Time
-	seq     uint64
+	now Time
+	seq uint64
+	// queue holds future events; imm is the same-time fast path. An
+	// event scheduled at the current instant can never precede anything
+	// already pending at an earlier time, and sequence numbers only
+	// grow, so appending to a FIFO preserves the (t, seq) total order
+	// while skipping the heap entirely — the dominant case, since every
+	// process dispatch, signal wakeup and zero-delay callback lands at
+	// the current time.
 	queue   eventHeap
+	imm     []event
+	immHead int
 	yielded chan struct{}
 
 	nextPID  int64
@@ -83,7 +128,11 @@ func (k *Kernel) schedule(t Time, fn func()) {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.queue, &event{t: t, seq: k.seq, fn: fn})
+	if t == k.now {
+		k.imm = append(k.imm, event{t: t, seq: k.seq, fn: fn})
+		return
+	}
+	k.queue.push(event{t: t, seq: k.seq, fn: fn})
 }
 
 // At schedules fn to run at absolute virtual time t in kernel context.
@@ -97,12 +146,45 @@ func (k *Kernel) After(d Time, fn func()) { k.schedule(k.now+d, fn) }
 // are kept, so Run may be called again to continue.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Run executes calendar events in order until no events remain or Stop is
-// called. It panics if any simulated process panicked.
-func (k *Kernel) Run() {
+// peek returns the earliest pending event without removing it.
+func (k *Kernel) peek() (event, bool) {
+	hasImm := k.immHead < len(k.imm)
+	switch {
+	case hasImm && (len(k.queue) == 0 || k.imm[k.immHead].precedes(k.queue[0])):
+		return k.imm[k.immHead], true
+	case len(k.queue) > 0:
+		return k.queue[0], true
+	}
+	return event{}, false
+}
+
+// popNext removes and returns the earliest pending event. The imm FIFO is
+// kept sorted by construction (times are the non-decreasing schedule-time
+// clocks, sequences only grow), so its head and the heap top are the only
+// candidates.
+func (k *Kernel) popNext() event {
+	if k.immHead < len(k.imm) && (len(k.queue) == 0 || k.imm[k.immHead].precedes(k.queue[0])) {
+		ev := k.imm[k.immHead]
+		k.imm[k.immHead] = event{} // release the closure
+		k.immHead++
+		if k.immHead == len(k.imm) {
+			k.imm = k.imm[:0]
+			k.immHead = 0
+		}
+		return ev
+	}
+	return k.queue.pop()
+}
+
+// run executes pending events in (t, seq) order while keep(next) holds.
+func (k *Kernel) run(keep func(event) bool) {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		ev := heap.Pop(&k.queue).(*event)
+	for !k.stopped {
+		ev, ok := k.peek()
+		if !ok || !keep(ev) {
+			return
+		}
+		k.popNext()
 		k.now = ev.t
 		k.eventCnt++
 		ev.fn()
@@ -113,26 +195,24 @@ func (k *Kernel) Run() {
 	}
 }
 
+// Run executes calendar events in order until no events remain or Stop is
+// called. It panics if any simulated process panicked.
+func (k *Kernel) Run() {
+	k.run(func(event) bool { return true })
+}
+
 // RunUntil executes events with time <= t, then sets the clock to t.
 func (k *Kernel) RunUntil(t Time) {
-	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped && k.queue[0].t <= t {
-		ev := heap.Pop(&k.queue).(*event)
-		k.now = ev.t
-		k.eventCnt++
-		ev.fn()
-		if k.fatal != nil {
-			f := k.fatal
-			panic(fmt.Sprintf("sim: process %q panicked: %v\n%s", f.proc, f.value, f.stack))
-		}
-	}
+	k.run(func(ev event) bool { return ev.t <= t })
 	if k.now < t {
 		k.now = t
 	}
 }
 
 // Idle reports whether the calendar is empty.
-func (k *Kernel) Idle() bool { return len(k.queue) == 0 }
+func (k *Kernel) Idle() bool {
+	return k.immHead >= len(k.imm) && len(k.queue) == 0
+}
 
 // LiveProcs returns the names of processes that have been spawned but have
 // not yet exited. After Run drains the calendar, any remaining live

@@ -8,7 +8,7 @@ import (
 	"repro/internal/sim"
 )
 
-// BenchmarkSchedulingPass measures controller throughput with a deep
+// BenchmarkSchedulingPass measures controller-level throughput with a deep
 // pending queue churned by completions (priority sort + EASY backfill
 // per event).
 func BenchmarkSchedulingPass(b *testing.B) {

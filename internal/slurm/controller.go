@@ -69,9 +69,21 @@ type Controller struct {
 	k       *sim.Kernel
 	cfg     Config
 
-	free    []*platform.Node // sorted by index
-	held    []*platform.Node // detached during an expand dance
-	drained map[*platform.Node]bool
+	pool *freePool        // indexed free pool (per-class awake/asleep bitmaps)
+	held []*platform.Node // detached during an expand dance
+
+	// owner indexes node occupancy by node index: 0 = unowned, heldOwner
+	// = parked in the held pool, otherwise the owning job's ID. It makes
+	// nodeHeld O(1) instead of a scan over every running allocation.
+	owner []int
+
+	// drained flags nodes out of service, by index. drainedN counts the
+	// flags; drainedUnheld counts drained nodes no job or hold owns
+	// (they are outside both the free pool and any allocation, the
+	// correction AllocatedNodes needs).
+	drained       []bool
+	drainedN      int
+	drainedUnheld int
 
 	jobs    map[int]*Job
 	pending []*Job
@@ -82,6 +94,22 @@ type Controller struct {
 	kicked    bool
 	rpcSlot   *sim.Resource // serializes reconfiguration decisions
 	sleepGen  []int         // per-node timer generation; allocation invalidates armed sleeps
+
+	// pick is the pass-scoped placement cache: pickNodes answers for one
+	// job at one pool version, shared by classClampSize, backfillEnd,
+	// capAdmit/capFits and startJob instead of four independent merges.
+	pick pickCache
+
+	// passQueue is a scratch buffer reused across scheduling passes to
+	// keep the hot path allocation-free.
+	passQueue []*Job
+
+	// endOrder keeps the running jobs sorted by priced release time
+	// (StartTime plus the speed-stretched time limit, ties by ID) — the
+	// order the EASY reservation consumes. Maintained incrementally on
+	// start, completion, resize and P-state moves, it turns the per-pass
+	// collect-and-sort over every running job into an ordered walk.
+	endOrder []jobRelease
 
 	// Events is the append-only trace of everything the controller did.
 	Events []Event
@@ -98,12 +126,14 @@ func NewController(c *platform.Cluster, cfg Config) *Controller {
 		cluster:  c,
 		k:        c.K,
 		cfg:      cfg,
+		pool:     newFreePool(c.Nodes),
+		owner:    make([]int, len(c.Nodes)),
+		drained:  make([]bool, len(c.Nodes)),
 		jobs:     make(map[int]*Job),
 		running:  make(map[int]*Job),
 		rpcSlot:  sim.NewResource(c.K, 1),
 		sleepGen: make([]int, len(c.Nodes)),
 	}
-	ctl.free = append(ctl.free, c.Nodes...)
 	// Nodes start idle; with sleep enabled they doze off unless a job
 	// claims them within the idle timeout.
 	for _, n := range c.Nodes {
@@ -136,18 +166,12 @@ func (c *Controller) Kernel() *sim.Kernel { return c.k }
 func (c *Controller) TotalNodes() int { return len(c.cluster.Nodes) }
 
 // FreeNodes returns how many nodes are currently unallocated.
-func (c *Controller) FreeNodes() int { return len(c.free) }
+func (c *Controller) FreeNodes() int { return c.pool.total }
 
 // AllocatedNodes returns how many nodes are allocated or held. Drained
 // nodes count only while a job still occupies them.
 func (c *Controller) AllocatedNodes() int {
-	out := len(c.cluster.Nodes) - len(c.free)
-	for n := range c.drained {
-		if !c.nodeHeld(n) {
-			out--
-		}
-	}
-	return out
+	return len(c.cluster.Nodes) - c.pool.total - c.drainedUnheld
 }
 
 // Job returns the job with the given id, or nil.
@@ -163,11 +187,11 @@ func (c *Controller) RunningJobs() []*Job {
 	return out
 }
 
-// PendingJobs returns the pending queue in priority order.
+// PendingJobs returns the pending queue in priority order. The queue is
+// maintained sorted (insertPending), so this is a copy, not a sort.
 func (c *Controller) PendingJobs() []*Job {
 	out := make([]*Job, len(c.pending))
 	copy(out, c.pending)
-	c.sortQueue(out)
 	return out
 }
 
@@ -193,7 +217,7 @@ func (c *Controller) Submit(j *Job) *Job {
 		j.MaxNodes = j.ReqNodes
 	}
 	c.jobs[j.ID] = j
-	c.pending = append(c.pending, j)
+	c.insertPending(j)
 	c.log(EvSubmit, j, fmt.Sprintf("req=%d", j.ReqNodes))
 	c.kick()
 	return j
@@ -231,8 +255,10 @@ func (c *Controller) JobComplete(j *Job) {
 	// them would block genuinely throttled jobs from stepping up).
 	nodes := j.alloc
 	j.alloc = nil
+	j.invalidateSpeed()
 	j.pstate = 0
 	delete(c.running, j.ID)
+	c.removeEndOrder(j)
 	c.releaseNodes(nodes)
 	j.State = StateCompleted
 	j.EndTime = c.k.Now()
@@ -245,12 +271,15 @@ func (c *Controller) JobComplete(j *Job) {
 	c.kick()
 }
 
+// freeList returns the free nodes in index order (tests, debugging).
+func (c *Controller) freeList() []*platform.Node { return c.eligibleFree(nil) }
+
 // eligibleFree returns a fresh slice of the free nodes job j may use
 // (its hard class constraint applied), in index order.
 func (c *Controller) eligibleFree(j *Job) []*platform.Node {
-	out := make([]*platform.Node, 0, len(c.free))
-	for _, nd := range c.free {
-		if j == nil || j.ClassEligible(nd) {
+	out := make([]*platform.Node, 0, c.pool.countFor(j))
+	for _, nd := range c.cluster.Nodes {
+		if c.pool.contains(nd.Index) && (j == nil || j.ClassEligible(nd)) {
 			out = append(out, nd)
 		}
 	}
@@ -258,18 +287,7 @@ func (c *Controller) eligibleFree(j *Job) []*platform.Node {
 }
 
 // freeFor returns how many free nodes job j may be allocated.
-func (c *Controller) freeFor(j *Job) int {
-	if j == nil || j.ReqClass == "" {
-		return len(c.free)
-	}
-	n := 0
-	for _, nd := range c.free {
-		if j.ClassEligible(nd) {
-			n++
-		}
-	}
-	return n
-}
+func (c *Controller) freeFor(j *Job) int { return c.pool.countFor(j) }
 
 // pickAnchor returns the speed class an allocation for j should grow
 // around: the slowest P0 speed of the job's current allocation — or,
@@ -298,6 +316,34 @@ func (c *Controller) pickAnchor(j *Job) (float64, bool) {
 	return min, true
 }
 
+// pickSig is everything about a job that a placement answer depends on:
+// its hard and soft class demands and its anchor class. Two pending jobs
+// with equal signatures receive identical picks, so the cache is keyed
+// by signature, not job — a backfill scan over thousands of candidates
+// collapses to one merge per (signature, width) between pool mutations.
+type pickSig struct {
+	req, pref string
+	anchor    float64
+	anchored  bool
+}
+
+// pickCache memoizes pickNodes answers at one free-pool version. One
+// scheduling candidate probes the same width several times —
+// classClampSize, backfillEnd, capAdmit, then startJob — and a moldable
+// probe walks adjacent widths; every mutation that could change an
+// answer bumps the pool version and drops the cache. The handful of live
+// signatures and widths makes linear scans cheaper than maps.
+type pickCache struct {
+	version uint64
+	entries []pickEntry
+}
+
+type pickEntry struct {
+	sig  pickSig
+	ns   []int
+	sets [][]*platform.Node
+}
+
 // pickNodes returns the n free nodes an allocation for job j would
 // receive without committing it. The candidate pool is j's eligible free
 // nodes, ordered by descending affinity:
@@ -316,89 +362,147 @@ func (c *Controller) pickAnchor(j *Job) (float64, bool) {
 //  4. with energy accounting attached, awake nodes before sleeping ones
 //     (no wake latency, no boot energy),
 //  5. node-index order (determinism).
+//
+// Keys 1–3 are per-class properties and key 4 splits each class pool in
+// two, so instead of sorting the whole pool the pick orders the class
+// tiers and merges their index-sorted bitmaps — the same order the
+// stable affinity sort produced, at O(n) per answer.
 func (c *Controller) pickNodes(j *Job, n int) []*platform.Node {
-	pool := c.eligibleFree(j)
-	if n > len(pool) {
-		panic(fmt.Sprintf("slurm: allocating %d of %d eligible free nodes", n, len(pool)))
+	sig := pickSig{}
+	if j != nil {
+		sig.req, sig.pref = j.ReqClass, j.PrefClass
+	}
+	sig.anchor, sig.anchored = c.pickAnchor(j)
+	if c.pick.version != c.pool.version {
+		c.pick.version = c.pool.version
+		c.pick.entries = c.pick.entries[:0]
+	}
+	var e *pickEntry
+	for i := range c.pick.entries {
+		if c.pick.entries[i].sig == sig {
+			e = &c.pick.entries[i]
+			break
+		}
+	}
+	if e == nil {
+		c.pick.entries = append(c.pick.entries, pickEntry{sig: sig})
+		e = &c.pick.entries[len(c.pick.entries)-1]
+	}
+	for i, cached := range e.ns {
+		if cached == n {
+			return e.sets[i]
+		}
+	}
+	nodes := c.pickNodesUncached(j, n, sig)
+	e.ns = append(e.ns, n)
+	e.sets = append(e.sets, nodes)
+	return nodes
+}
+
+func (c *Controller) pickNodesUncached(j *Job, n int, sig pickSig) []*platform.Node {
+	elig := c.pool.eligibleClasses(j)
+	total := 0
+	for _, cp := range elig {
+		total += cp.count()
+	}
+	if n > total {
+		panic(fmt.Sprintf("slurm: allocating %d of %d eligible free nodes", n, total))
+	}
+	if n == 0 {
+		return []*platform.Node{}
 	}
 	pref := ""
-	if j != nil && j.PrefClass != "" {
-		inPref := 0
-		for _, nd := range pool {
-			if nd.Class() == j.PrefClass {
-				inPref++
-			}
-		}
-		if inPref >= n {
-			pref = j.PrefClass
+	if sig.pref != "" && (sig.req == "" || sig.req == sig.pref) {
+		if cp := c.pool.byClass[sig.pref]; cp != nil && cp.count() >= n {
+			pref = sig.pref
 		}
 	}
-	anchor, anchored := c.pickAnchor(j)
-	byAffinity := func(a, b *platform.Node) bool {
-		if pref != "" {
-			ma, mb := a.Class() == pref, b.Class() == pref
-			if ma != mb {
-				return ma
-			}
-		}
-		if anchored {
-			ma, mb := a.Speed() == anchor, b.Speed() == anchor
-			if ma != mb {
-				return ma
-			}
-		}
-		if c.cfg.ClassAware {
-			if ca, cb := a.EnergyPerWork(), b.EnergyPerWork(); ca != cb {
-				return ca < cb
-			}
-		}
-		if c.cfg.Energy != nil {
-			aa, ab := c.cfg.Energy.WakePreview(a.Index) == 0, c.cfg.Energy.WakePreview(b.Index) == 0
-			if aa != ab {
-				return aa
-			}
-		}
-		return false
-	}
-	sort.SliceStable(pool, func(a, b int) bool { return byAffinity(pool[a], pool[b]) })
-	if c.cfg.ClassAware && !anchored && pref == "" && n > 0 {
+	anchor, anchored := sig.anchor, sig.anchored
+	out := c.mergePick(elig, n, pref, anchor, anchored)
+	if c.cfg.ClassAware && !anchored && pref == "" {
 		// Fresh start without a preference: the cheapest-first pick
-		// fixes which classes the width must touch — pool[n-1] is the
+		// fixes which classes the width must touch — out[n-1] is the
 		// priciest node it cannot avoid. Re-anchor to that class and
-		// resort, so a job that must dip beyond the efficiency class
+		// re-merge, so a job that must dip beyond the efficiency class
 		// goes pure at the dip class instead of mixing: a mixed
 		// allocation runs every node at the slowest rank's pace, the
 		// worst point of the energy/makespan trade-off.
-		anchor, anchored = pool[n-1].Speed(), true
-		sort.SliceStable(pool, func(a, b int) bool { return byAffinity(pool[a], pool[b]) })
+		out = c.mergePick(elig, n, pref, out[n-1].Speed(), true)
 	}
-	return pool[:n:n]
+	return out
+}
+
+// mergePick materializes the affinity order: class pools are ranked by
+// the job-specific keys (preference, anchor match, energy per work);
+// pools comparing equal form one tier whose nodes interleave by
+// awake-before-sleeping then index — the stable sort's tie-break order.
+func (c *Controller) mergePick(elig []*classPool, n int, pref string, anchor float64, anchored bool) []*platform.Node {
+	type tierClass struct {
+		cp          *classPool
+		pref, anchr bool
+	}
+	ranked := make([]tierClass, len(elig))
+	for i, cp := range elig {
+		ranked[i] = tierClass{cp: cp, pref: cp.class == pref, anchr: anchored && cp.speed == anchor}
+	}
+	less := func(a, b tierClass) bool {
+		if pref != "" && a.pref != b.pref {
+			return a.pref
+		}
+		if anchored && a.anchr != b.anchr {
+			return a.anchr
+		}
+		if c.cfg.ClassAware && a.cp.epw != b.cp.epw {
+			return a.cp.epw < b.cp.epw
+		}
+		return false
+	}
+	sort.SliceStable(ranked, func(a, b int) bool { return less(ranked[a], ranked[b]) })
+
+	out := make([]*platform.Node, 0, n)
+	awake := make([]bitset, 0, len(ranked))
+	asleep := make([]bitset, 0, len(ranked))
+	for lo := 0; lo < len(ranked) && len(out) < n; {
+		hi := lo + 1
+		for hi < len(ranked) && !less(ranked[lo], ranked[hi]) {
+			hi++
+		}
+		awake, asleep = awake[:0], asleep[:0]
+		for _, tc := range ranked[lo:hi] {
+			awake = append(awake, tc.cp.awake)
+			asleep = append(asleep, tc.cp.asleep)
+		}
+		out = c.pool.appendMerged(out, awake, n)
+		out = c.pool.appendMerged(out, asleep, n)
+		lo = hi
+	}
+	return out
 }
 
 // allocateNodes takes n nodes from the free pool in pickNodes order.
 func (c *Controller) allocateNodes(j *Job, n int) []*platform.Node {
 	nodes := c.pickNodes(j, n)
-	taken := make(map[*platform.Node]bool, len(nodes))
 	for _, nd := range nodes {
-		taken[nd] = true
+		c.pool.remove(nd.Index)
+		c.owner[nd.Index] = j.ID
 	}
-	rest := c.free[:0]
-	for _, nd := range c.free {
-		if !taken[nd] {
-			rest = append(rest, nd)
-		}
-	}
-	c.free = rest
 	return nodes
 }
 
-// releaseNodes returns nodes to the free pool, keeping it sorted.
-// Nodes drained while allocated complete their drain here. The freed
-// draw is headroom under a power cap: throttled jobs step back first.
+// releaseNodes returns nodes to the free pool. Nodes drained while
+// allocated complete their drain here. The freed draw is headroom under
+// a power cap: throttled jobs step back first.
 func (c *Controller) releaseNodes(nodes []*platform.Node) {
 	c.powerRelease(nodes)
-	c.free = append(c.free, c.filterDrained(nodes)...)
-	sort.Slice(c.free, func(i, j int) bool { return c.free[i].Index < c.free[j].Index })
+	c.pool.bump() // the releasing job's allocation changed even if every node drains
+	for _, nd := range nodes {
+		c.owner[nd.Index] = 0
+		if c.drained[nd.Index] {
+			c.drainedUnheld++
+			continue
+		}
+		c.pool.add(nd.Index)
+	}
 	c.capRestore()
 }
 
@@ -448,7 +552,7 @@ func (c *Controller) powerRelease(nodes []*platform.Node) {
 // Drained nodes never sleep: they are held out of service for
 // maintenance and stay powered on.
 func (c *Controller) armSleep(n *platform.Node) {
-	if c.cfg.Energy == nil || c.cfg.IdleSleep <= 0 || c.drained[n] {
+	if c.cfg.Energy == nil || c.cfg.IdleSleep <= 0 || c.drained[n.Index] {
 		return
 	}
 	c.sleepGen[n.Index]++
@@ -458,6 +562,11 @@ func (c *Controller) armSleep(n *platform.Node) {
 			return
 		}
 		c.cfg.Energy.NodeSleep(n.Index, c.cfg.SleepState)
+		if c.cfg.Energy.State(n.Index) == energy.Sleeping {
+			// The free pool orders awake nodes before sleeping ones:
+			// move the node to its class's sleeping half.
+			c.pool.markAsleep(n.Index)
+		}
 		c.logNode(EvSleep, n, 0)
 		if c.capped() {
 			// The idle draw just dropped: headroom for throttled jobs,
@@ -494,6 +603,7 @@ func (c *Controller) removePending(j *Job) {
 // but the application only starts once all of them are up.
 func (c *Controller) startJob(j *Job, n int) {
 	j.alloc = c.allocateNodes(j, n)
+	j.invalidateSpeed()
 	if c.cfg.ClassAware {
 		// Keep the stored allocation fast-first (stable by index) so a
 		// later tail shrink releases the slowest nodes first and lifts
@@ -510,6 +620,7 @@ func (c *Controller) startJob(j *Job, n int) {
 	j.lastAllocated = j.StartTime
 	c.removePending(j)
 	c.running[j.ID] = j
+	c.insertEndOrder(j)
 	c.log(EvStart, j, fmt.Sprintf("nodes=%d", n))
 	if j.pstate > 0 {
 		// Admitted below P0 by the power-cap governor: the throttle

@@ -1,0 +1,183 @@
+package slurm
+
+import (
+	"math/bits"
+
+	"repro/internal/platform"
+)
+
+// The indexed free pool. The seed implementation kept the free nodes as
+// one index-sorted slice: every freeFor was a class-filtered scan, every
+// pickNodes re-sorted the whole pool under the affinity comparator, and
+// every release re-sorted the slice. At thousand-node fleet sizes those
+// O(N log N) passes dominate the simulation. The pool below keeps the
+// same information factored by machine class: per-class bitmaps of free
+// node indices, split into awake and sleeping halves. Class counts make
+// freeFor O(1), membership updates are O(1) bit flips, and pickNodes
+// becomes a k-way merge of index-ordered bitmaps (k = number of machine
+// classes, nearly always ≤ 3) that reproduces the affinity sort's order
+// bit for bit — see Controller.pickNodes.
+//
+// A version counter increments on every mutation that can change a
+// placement answer; the controller's pass-scoped pickNodes cache keys on
+// it.
+
+// bitset is a bitmap over node indices.
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// classPool tracks one machine class's free nodes. Within a class every
+// node shares the power profile, so the only intra-class affinity keys
+// left are awake-before-sleeping and index order — exactly what the two
+// bitmaps encode.
+type classPool struct {
+	class   string
+	epw     float64 // P0 joules per unit of reference work
+	speed   float64 // P0 speed (the anchor-matching key)
+	awake   bitset  // free, powered on
+	asleep  bitset  // free, in a sleep state
+	nAwake  int
+	nAsleep int
+}
+
+func (cp *classPool) count() int { return cp.nAwake + cp.nAsleep }
+
+// freePool is the controller's indexed view of unallocated nodes.
+type freePool struct {
+	nodes   []*platform.Node // all cluster nodes, by index
+	classes []*classPool     // first-seen node-index order
+	byClass map[string]*classPool
+	byNode  []*classPool // node index -> its class pool
+	total   int
+	version uint64
+}
+
+// newFreePool builds the pool with every node free and awake (nodes
+// start powered-on idle).
+func newFreePool(nodes []*platform.Node) *freePool {
+	p := &freePool{
+		nodes:   nodes,
+		byClass: make(map[string]*classPool),
+		byNode:  make([]*classPool, len(nodes)),
+	}
+	for _, nd := range nodes {
+		cp := p.byClass[nd.Class()]
+		if cp == nil {
+			cp = &classPool{
+				class:  nd.Class(),
+				epw:    nd.EnergyPerWork(),
+				speed:  nd.Speed(),
+				awake:  newBitset(len(nodes)),
+				asleep: newBitset(len(nodes)),
+			}
+			p.byClass[cp.class] = cp
+			p.classes = append(p.classes, cp)
+		}
+		p.byNode[nd.Index] = cp
+		cp.awake.set(nd.Index)
+		cp.nAwake++
+		p.total++
+	}
+	return p
+}
+
+// bump invalidates cached placement answers.
+func (p *freePool) bump() { p.version++ }
+
+// contains reports whether node index i is free.
+func (p *freePool) contains(i int) bool {
+	cp := p.byNode[i]
+	return cp.awake.has(i) || cp.asleep.has(i)
+}
+
+// add returns a node to the pool, awake (releases and drain-resumes hand
+// back powered-on nodes).
+func (p *freePool) add(i int) {
+	cp := p.byNode[i]
+	if cp.awake.has(i) || cp.asleep.has(i) {
+		return
+	}
+	cp.awake.set(i)
+	cp.nAwake++
+	p.total++
+	p.bump()
+}
+
+// remove takes a node out of the pool (allocation or drain).
+func (p *freePool) remove(i int) {
+	cp := p.byNode[i]
+	switch {
+	case cp.awake.has(i):
+		cp.awake.clear(i)
+		cp.nAwake--
+	case cp.asleep.has(i):
+		cp.asleep.clear(i)
+		cp.nAsleep--
+	default:
+		return
+	}
+	p.total--
+	p.bump()
+}
+
+// markAsleep moves a free node to its class's sleeping half (the idle
+// timeout fired and the accountant accepted the transition).
+func (p *freePool) markAsleep(i int) {
+	cp := p.byNode[i]
+	if !cp.awake.has(i) {
+		return
+	}
+	cp.awake.clear(i)
+	cp.nAwake--
+	cp.asleep.set(i)
+	cp.nAsleep++
+	p.bump()
+}
+
+// eligibleClasses returns the class pools job j may draw from.
+func (p *freePool) eligibleClasses(j *Job) []*classPool {
+	if j == nil || j.ReqClass == "" {
+		return p.classes
+	}
+	if cp := p.byClass[j.ReqClass]; cp != nil {
+		return []*classPool{cp}
+	}
+	return nil
+}
+
+// countFor returns how many free nodes job j may be allocated.
+func (p *freePool) countFor(j *Job) int {
+	if j == nil || j.ReqClass == "" {
+		return p.total
+	}
+	if cp := p.byClass[j.ReqClass]; cp != nil {
+		return cp.count()
+	}
+	return 0
+}
+
+// appendMerged appends to out, in ascending node-index order, the nodes
+// of the given bitmaps (one per class of an affinity tier), stopping at
+// capacity n. Word-wise ORs make the k-way merge a single bit scan.
+func (p *freePool) appendMerged(out []*platform.Node, sets []bitset, n int) []*platform.Node {
+	if len(sets) == 0 {
+		return out
+	}
+	words := len(sets[0])
+	for w := 0; w < words && len(out) < n; w++ {
+		var merged uint64
+		for _, s := range sets {
+			merged |= s[w]
+		}
+		for merged != 0 && len(out) < n {
+			i := w<<6 + bits.TrailingZeros64(merged)
+			out = append(out, p.nodes[i])
+			merged &= merged - 1
+		}
+	}
+	return out
+}

@@ -47,7 +47,7 @@ func fuzzOnce(t *testing.T, seed int64) {
 		for _, n := range c.held {
 			claim(n, "held-pool")
 		}
-		for _, n := range c.free {
+		for _, n := range c.freeList() {
 			claim(n, "free-pool")
 		}
 		if c.AllocatedNodes() > total {

@@ -108,7 +108,18 @@ type Job struct {
 	ThrottledSec  float64 // total seconds spent below P0 under the power cap
 	lastAllocated sim.Time
 	minClassSpeed float64 // slowest P0 speed ever allocated (0 = never allocated)
+
+	// jobSpeed cache: the slowest node speed at P-state speedFor-1
+	// (0 = not cached). Allocation changes reset it; P-state moves miss
+	// the key naturally. Reservation pricing reads jobSpeed for every
+	// running job on every pass, so recomputing the min over the
+	// allocation each time is a real cost at fleet scale.
+	speedFor int
+	speedVal float64
 }
+
+// invalidateSpeed drops the cached jobSpeed after an allocation change.
+func (j *Job) invalidateSpeed() { j.speedFor = 0 }
 
 // ClassEligible reports whether node nd satisfies the job's hard class
 // constraint (every node qualifies for an unconstrained job).

@@ -18,25 +18,21 @@ func (c *Controller) DrainNode(index int) error {
 		return fmt.Errorf("slurm: drain: no node %d", index)
 	}
 	n := c.cluster.Nodes[index]
-	if c.drained == nil {
-		c.drained = make(map[*platform.Node]bool)
-	}
-	if c.drained[n] {
+	if c.drained[index] {
 		return nil
 	}
-	c.drained[n] = true
+	c.drained[index] = true
+	c.drainedN++
 	// If currently free, pull it out of the pool immediately.
-	for i, f := range c.free {
-		if f == n {
-			c.free = append(c.free[:i], c.free[i+1:]...)
-			break
-		}
+	if c.pool.contains(index) {
+		c.pool.remove(index)
+		c.drainedUnheld++
 	}
 	// A drained node stays powered for maintenance: cancel any armed
 	// sleep timer and wake it if it already dozed off.
 	if c.cfg.Energy != nil {
-		c.sleepGen[n.Index]++
-		if w := c.cfg.Energy.WakeIdle(n.Index); w > 0 {
+		c.sleepGen[index]++
+		if w := c.cfg.Energy.WakeIdle(index); w > 0 {
 			c.logNode(EvWake, n, 0)
 		}
 	}
@@ -49,13 +45,15 @@ func (c *Controller) ResumeNode(index int) error {
 		return fmt.Errorf("slurm: resume: no node %d", index)
 	}
 	n := c.cluster.Nodes[index]
-	if !c.drained[n] {
+	if !c.drained[index] {
 		return nil
 	}
-	delete(c.drained, n)
+	c.drained[index] = false
+	c.drainedN--
 	// Only re-add to the free pool if no job holds it (it may still be
 	// allocated if it was drained while busy and the job is running).
 	if !c.nodeHeld(n) {
+		c.drainedUnheld--
 		c.releaseNodes([]*platform.Node{n})
 		c.kick()
 	}
@@ -63,35 +61,19 @@ func (c *Controller) ResumeNode(index int) error {
 }
 
 // DrainedNodes reports how many nodes are out of service.
-func (c *Controller) DrainedNodes() int { return len(c.drained) }
+func (c *Controller) DrainedNodes() int { return c.drainedN }
 
-// nodeHeld reports whether any job or the held pool owns n.
+// heldOwner marks a node parked in the held pool in the owner index.
+const heldOwner = -1
+
+// nodeHeld reports whether any job or the held pool owns n. O(1): the
+// owner index is updated on every allocate, detach, grow and release.
 func (c *Controller) nodeHeld(n *platform.Node) bool {
-	for _, j := range c.running {
-		for _, a := range j.alloc {
-			if a == n {
-				return true
-			}
-		}
-	}
-	for _, h := range c.held {
-		if h == n {
-			return true
-		}
-	}
-	return false
+	return c.owner[n.Index] != 0
 }
 
-// filterDrained drops drained nodes on release instead of freeing them.
-func (c *Controller) filterDrained(nodes []*platform.Node) []*platform.Node {
-	if len(c.drained) == 0 {
-		return nodes
-	}
-	out := make([]*platform.Node, 0, len(nodes))
-	for _, n := range nodes {
-		if !c.drained[n] {
-			out = append(out, n)
-		}
-	}
-	return out
-}
+// isDrained reports whether a node is out of service. O(1): the flag
+// slice replaces the seed's map of drained nodes, so the release path
+// (releaseNodes) and the reservation's per-allocation filter pay an
+// index load per node instead of a hash lookup.
+func (c *Controller) isDrained(n *platform.Node) bool { return c.drained[n.Index] }

@@ -44,6 +44,14 @@ type Decision struct {
 type QueueView struct {
 	ctl *Controller
 	job *Job
+
+	// relSuffix caches, per hard class, how many of the requesting
+	// job's allocation-tail nodes from each position on are usable by
+	// that class — Algorithm 1's wide optimization probes
+	// ReleasedEligible once per chain step per pending target, and a
+	// view lives for exactly one decision, so the O(alloc) count is
+	// paid once per class instead of per probe.
+	relSuffix map[string][]int
 }
 
 // FreeNodes returns the number of unallocated nodes.
@@ -57,10 +65,11 @@ func (v *QueueView) Job() *Job { return v.job }
 
 // PendingEligible returns pending jobs whose dependencies are satisfied,
 // in priority order, excluding resizer jobs (they belong to in-flight
-// expansions, not to the workload).
+// expansions, not to the workload). The pending queue is maintained in
+// priority order, so this is a single filtered walk.
 func (v *QueueView) PendingEligible() []*Job {
-	var out []*Job
-	for _, j := range v.ctl.PendingJobs() {
+	out := make([]*Job, 0, len(v.ctl.pending))
+	for _, j := range v.ctl.pending {
 		if j.Resizer || !v.ctl.eligible(j) {
 			continue
 		}
@@ -88,13 +97,24 @@ func (v *QueueView) ReleasedEligible(t *Job, n int) int {
 	if n < 0 || n >= len(v.job.alloc) {
 		return 0
 	}
-	cnt := 0
-	for _, nd := range v.job.alloc[n:] {
-		if t.ClassEligible(nd) {
-			cnt++
-		}
+	if t.ReqClass == "" {
+		return len(v.job.alloc) - n
 	}
-	return cnt
+	s := v.relSuffix[t.ReqClass]
+	if s == nil {
+		s = make([]int, len(v.job.alloc)+1)
+		for i := len(v.job.alloc) - 1; i >= 0; i-- {
+			s[i] = s[i+1]
+			if v.job.alloc[i].Class() == t.ReqClass {
+				s[i]++
+			}
+		}
+		if v.relSuffix == nil {
+			v.relSuffix = make(map[string][]int, 2)
+		}
+		v.relSuffix[t.ReqClass] = s
+	}
+	return s[n]
 }
 
 // ExpandSpeedPreview prices an expansion by the machine classes

@@ -111,6 +111,8 @@ func (c *Controller) setJobPState(j *Job, ps int) {
 		c.log(EvRestore, j, fmt.Sprintf("p%d", ps))
 	}
 	j.pstate = ps
+	// The new P-state re-prices the job's release estimate.
+	c.repositionEndOrder(j)
 }
 
 // capFits reports whether starting job j on n free nodes at P0 stays
@@ -173,12 +175,16 @@ func (c *Controller) capAdmit(j *Job, n int) bool {
 // Worker.SpeedFactor's stretch of the coupled step loop. Reservation
 // pricing divides time-limit estimates by it.
 func (c *Controller) jobSpeed(j *Job) float64 {
+	if j.speedFor == j.pstate+1 {
+		return j.speedVal
+	}
 	speed := 1.0
 	for _, n := range j.alloc {
 		if s := n.Power.SpeedAt(j.pstate); s < speed {
 			speed = s
 		}
 	}
+	j.speedFor, j.speedVal = j.pstate+1, speed
 	return speed
 }
 

@@ -53,7 +53,13 @@ func (c *Controller) DetachNodes(j *Job) []*platform.Node {
 	j.accumulateNodeSeconds(c.k.Now())
 	nodes := j.alloc
 	j.alloc = nil
+	j.invalidateSpeed()
+	c.repositionEndOrder(j)
 	c.held = append(c.held, nodes...)
+	for _, n := range nodes {
+		c.owner[n.Index] = heldOwner
+	}
+	c.pool.bump() // the job's anchor class changed; drop cached picks
 	// Parked nodes keep drawing active power under their existing
 	// attribution — for an expand-dance resizer that is already the
 	// dance target (set at allocation); GrowJob re-asserts it on graft.
@@ -76,6 +82,7 @@ func (c *Controller) CancelResizer(rj *Job) {
 			panic(fmt.Sprintf("slurm: cancelling resizer %d with %d nodes still attached", rj.ID, len(rj.alloc)))
 		}
 		delete(c.running, rj.ID)
+		c.removeEndOrder(rj)
 		rj.State = StateCancelled
 		rj.EndTime = c.k.Now()
 		c.log(EvCancel, rj, "")
@@ -106,6 +113,12 @@ func (c *Controller) GrowJob(j *Job, nodes []*platform.Node) {
 	}
 	j.accumulateNodeSeconds(c.k.Now())
 	j.alloc = append(j.alloc, nodes...)
+	j.invalidateSpeed()
+	c.repositionEndOrder(j)
+	for _, n := range nodes {
+		c.owner[n.Index] = j.ID
+	}
+	c.pool.bump() // the grown allocation changes the job's anchor class
 	j.noteClassSpeeds(nodes)
 	if c.cfg.ClassAware {
 		// Keep the allocation fast-first (stable by index) so a later
@@ -163,6 +176,8 @@ func (c *Controller) ShrinkJob(j *Job, n int) []*platform.Node {
 	j.accumulateNodeSeconds(c.k.Now())
 	released := j.alloc[n:]
 	j.alloc = j.alloc[:n:n]
+	j.invalidateSpeed()
+	c.repositionEndOrder(j)
 	c.releaseNodes(released)
 	j.ResizeCount++
 	c.log(EvShrink, j, fmt.Sprintf("nodes=%d released=%d", n, len(released)))
@@ -172,13 +187,17 @@ func (c *Controller) ShrinkJob(j *Job, n int) []*platform.Node {
 }
 
 // BoostJob grants a pending job maximum priority (Algorithm 1 line 18).
+// The boost changes the job's queue rank, so it is re-inserted at its
+// new position to keep the pending queue sorted.
 func (c *Controller) BoostJob(id int) {
 	j := c.jobs[id]
 	if j == nil || j.State != StatePending {
 		return
 	}
 	if !j.Boosted {
+		c.removePending(j)
 		j.Boosted = true
+		c.insertPending(j)
 		c.log(EvBoost, j, "")
 	}
 }

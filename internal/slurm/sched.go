@@ -10,34 +10,57 @@ import (
 // Slurm's multifactor plugin with default weights, which behaves as
 // age-ordered FIFO; the DMR policy additionally boosts the job that
 // triggered a shrink to maximum priority (Algorithm 1, line 18).
+//
+// The seed implementation evaluated this float inside a sort comparator
+// on every scheduling pass. The resulting order is provably the static
+// key (queueRank desc, SubmitTime asc, ID asc): within one rank the
+// priority is monotone in age, so descending priority is ascending
+// submit time (float ties collapse to the same submit-time tie-break),
+// and across ranks the 1e12 boost dominates any representable age
+// (reaching 1e12 via the age term would take 10^15 simulated seconds,
+// beyond Time's int64 range). The controller therefore keeps the pending
+// queue sorted by that key incrementally — see insertPending — and never
+// sorts per pass. priority is retained for reference and tests.
 func (c *Controller) priority(j *Job) float64 {
 	const boost = 1e12
-	p := float64(0)
-	if j.Boosted {
-		p += boost
-	}
-	if j.Resizer {
-		// Resizer jobs are submitted with maximum priority (§V-B1).
-		p += boost
-	}
+	p := float64(queueRank(j)) * boost
 	// Age factor: older submissions first.
 	p += (c.k.Now() - j.SubmitTime).Seconds() * 1e-3
 	return p
 }
 
-// sortQueue orders jobs by descending priority, breaking ties by submit
-// time then ID for determinism.
-func (c *Controller) sortQueue(q []*Job) {
-	sort.SliceStable(q, func(i, k int) bool {
-		pi, pk := c.priority(q[i]), c.priority(q[k])
-		if pi != pk {
-			return pi > pk
-		}
-		if q[i].SubmitTime != q[k].SubmitTime {
-			return q[i].SubmitTime < q[k].SubmitTime
-		}
-		return q[i].ID < q[k].ID
-	})
+// queueRank is the boost tier of the static queue order: resizer jobs
+// are submitted with maximum priority (§V-B1) and Algorithm 1's
+// set_max_priority boosts shrink targets.
+func queueRank(j *Job) int {
+	r := 0
+	if j.Boosted {
+		r++
+	}
+	if j.Resizer {
+		r++
+	}
+	return r
+}
+
+// queueBefore is the pending queue's total order: descending boost rank,
+// then ascending submit time, then ascending ID.
+func queueBefore(a, b *Job) bool {
+	if ra, rb := queueRank(a), queueRank(b); ra != rb {
+		return ra > rb
+	}
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
+// insertPending places j at its priority position in the pending queue.
+func (c *Controller) insertPending(j *Job) {
+	i := sort.Search(len(c.pending), func(i int) bool { return queueBefore(j, c.pending[i]) })
+	c.pending = append(c.pending, nil)
+	copy(c.pending[i+1:], c.pending[i:])
+	c.pending[i] = j
 }
 
 // eligible reports whether a pending job's dependencies allow it to start.
@@ -77,7 +100,17 @@ func (c *Controller) startSize(j *Job, free int) (int, bool) {
 
 // schedulePass runs the main priority scheduler followed by EASY
 // backfill. Kernel context.
+//
+// The pending queue is snapshotted and priority-sorted once per pass: a
+// pass runs inside a single kernel event, so the clock — and with it
+// every job's priority — cannot change mid-pass, and submissions and
+// boosts only arrive from process context between passes. After a start
+// the queue is rescanned from the top (free counts changed), with the
+// started job dropped in place instead of the seed code's full re-sort
+// per start.
 func (c *Controller) schedulePass() {
+	queue := append(c.passQueue[:0], c.pending...)
+	defer func() { c.passQueue = queue[:0] }()
 	// Main pass: start jobs in priority order until the first one that
 	// cannot run; that job becomes the backfill reservation holder. A
 	// job can be blocked on nodes or — under a power cap — on watts:
@@ -85,10 +118,9 @@ func (c *Controller) schedulePass() {
 	// before giving up.
 	var blocked *Job
 	for {
-		queue := c.PendingJobs()
 		started := false
-		for _, j := range queue {
-			if !c.eligible(j) {
+		for qi, j := range queue {
+			if j.State != StatePending || !c.eligible(j) {
 				continue
 			}
 			// A class-constrained job only competes for its class's free
@@ -115,8 +147,9 @@ func (c *Controller) schedulePass() {
 				}
 			}
 			c.startJob(j, n)
+			queue = append(queue[:qi], queue[qi+1:]...)
 			started = true
-			break // re-sort: priorities and free counts changed
+			break // rescan from the top: free counts changed
 		}
 		if !started {
 			break
@@ -149,8 +182,8 @@ func (c *Controller) schedulePass() {
 	}
 	for {
 		started := false
-		for _, j := range c.PendingJobs() {
-			if j == blocked || !c.eligible(j) {
+		for qi, j := range queue {
+			if j == blocked || j.State != StatePending || !c.eligible(j) {
 				continue
 			}
 			need := j.ReqNodes
@@ -205,6 +238,7 @@ func (c *Controller) schedulePass() {
 					}
 				}
 			}
+			queue = append(queue[:qi], queue[qi+1:]...)
 			started = true
 			break
 		}
@@ -266,6 +300,60 @@ func (c *Controller) backfillEnd(j *Job, n int) sim.Time {
 	return c.k.Now() + wake + limit
 }
 
+// jobRelease is one running job's priced release: the time its nodes
+// come back, assuming it ends at its speed-stretched time limit.
+type jobRelease struct {
+	t sim.Time
+	j *Job
+}
+
+// jobEndEstimate prices when a running job releases its allocation: its
+// time limit, stretched when the job's coupled step loop runs below P0
+// speed (throttled or efficiency-class nodes).
+func (c *Controller) jobEndEstimate(j *Job) sim.Time {
+	end := j.StartTime + j.TimeLimit
+	if s := c.jobSpeed(j); s > 0 && s < 1 {
+		end = j.StartTime + sim.Time(float64(j.TimeLimit)/s)
+	}
+	return end
+}
+
+// endBefore is endOrder's total order.
+func endBefore(a, b jobRelease) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.j.ID < b.j.ID
+}
+
+// insertEndOrder adds a freshly started job to the release order.
+func (c *Controller) insertEndOrder(j *Job) {
+	e := jobRelease{t: c.jobEndEstimate(j), j: j}
+	i := sort.Search(len(c.endOrder), func(i int) bool { return endBefore(e, c.endOrder[i]) })
+	c.endOrder = append(c.endOrder, jobRelease{})
+	copy(c.endOrder[i+1:], c.endOrder[i:])
+	c.endOrder[i] = e
+}
+
+// removeEndOrder drops a job that stopped running.
+func (c *Controller) removeEndOrder(j *Job) {
+	for i, e := range c.endOrder {
+		if e.j == j {
+			c.endOrder = append(c.endOrder[:i], c.endOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+// repositionEndOrder re-prices a job whose allocation or P-state moved.
+func (c *Controller) repositionEndOrder(j *Job) {
+	if _, ok := c.running[j.ID]; !ok {
+		return
+	}
+	c.removeEndOrder(j)
+	c.insertEndOrder(j)
+}
+
 // reservation computes (shadowTime, extraNodes) for EASY backfill: the
 // earliest time the blocked job can accumulate enough *eligible* nodes
 // assuming running jobs end at StartTime+TimeLimit, and how many
@@ -274,36 +362,6 @@ func (c *Controller) backfillEnd(j *Job, n int) sim.Time {
 // class count — a slow-class job ending early cannot seat a Xeon-pinned
 // holder, so pricing its release would place the shadow time too early.
 func (c *Controller) reservation(blocked *Job) (sim.Time, int) {
-	type rel struct {
-		t sim.Time
-		n int
-	}
-	var rels []rel
-	for _, j := range c.running {
-		end := j.StartTime + j.TimeLimit
-		if s := c.jobSpeed(j); s > 0 && s < 1 {
-			// A throttled job's coupled step loop runs below P0 speed:
-			// price its release conservatively at the stretched limit.
-			end = j.StartTime + sim.Time(float64(j.TimeLimit)/s)
-		}
-		if end < c.k.Now() {
-			end = c.k.Now() // overran its estimate; assume imminent end
-		}
-		// Drained nodes leave service when the job releases them: they
-		// never reach the free pool, so counting them would place the
-		// shadow time too early and overstate the extra nodes.
-		releases := 0
-		for _, nd := range c.filterDrained(j.alloc) {
-			if blocked.ClassEligible(nd) {
-				releases++
-			}
-		}
-		if releases == 0 {
-			continue
-		}
-		rels = append(rels, rel{end, releases})
-	}
-	sort.Slice(rels, func(i, k int) bool { return rels[i].t < rels[k].t })
 	avail := c.freeFor(blocked)
 	need := blocked.ReqNodes
 	if blocked.MinNodes < blocked.MaxNodes {
@@ -312,10 +370,34 @@ func (c *Controller) reservation(blocked *Job) (sim.Time, int) {
 	if avail >= need {
 		return c.k.Now(), avail - need
 	}
-	for _, r := range rels {
-		avail += r.n
+	// Walk the running jobs in priced-release order (endOrder is kept
+	// sorted incrementally). A job that overran its estimate is priced
+	// at an imminent end; overruns sort first, so the walk stays in
+	// ascending release time.
+	unfiltered := blocked.ReqClass == "" && c.drainedN == 0
+	for _, r := range c.endOrder {
+		// Drained nodes leave service when the job releases them: they
+		// never reach the free pool, so counting them would place the
+		// shadow time too early and overstate the extra nodes.
+		releases := len(r.j.alloc)
+		if !unfiltered {
+			releases = 0
+			for _, nd := range r.j.alloc {
+				if !c.isDrained(nd) && blocked.ClassEligible(nd) {
+					releases++
+				}
+			}
+		}
+		if releases == 0 {
+			continue
+		}
+		avail += releases
 		if avail >= need {
-			return r.t, avail - need
+			t := r.t
+			if t < c.k.Now() {
+				t = c.k.Now()
+			}
+			return t, avail - need
 		}
 	}
 	// Even with everything released the job cannot run (oversized);

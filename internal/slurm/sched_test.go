@@ -1,6 +1,8 @@
 package slurm
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/energy"
@@ -107,6 +109,48 @@ func TestFreePoolsWithDrainedAndSleeping(t *testing.T) {
 	cl.K.Run()
 	if j.State != StateCompleted {
 		t.Fatalf("job on sleeping pool did not complete: %v", j.State)
+	}
+}
+
+// TestQueueOrderMatchesPriorityFloat pins the claim the sorted pending
+// queue rests on: the static key (queueRank desc, SubmitTime asc, ID
+// asc) orders jobs exactly as the seed's float priority comparator did,
+// at any clock value — including boosted/resizer jobs whose float
+// priorities collapse to ties within one ulp of the 1e12 boost.
+func TestQueueOrderMatchesPriorityFloat(t *testing.T) {
+	cl := testCluster(2)
+	c := NewController(cl, DefaultConfig())
+	rng := rand.New(rand.NewSource(7))
+	for _, now := range []sim.Time{0, 90 * sim.Second, 1000 * sim.Hour} {
+		cl.K.RunUntil(now)
+		var jobs []*Job
+		for i := 0; i < 200; i++ {
+			jobs = append(jobs, &Job{
+				ID:         i + 1,
+				SubmitTime: sim.Time(rng.Intn(5)) * 20 * sim.Second,
+				Boosted:    rng.Intn(3) == 0,
+				Resizer:    rng.Intn(5) == 0,
+			})
+		}
+		byFloat := append([]*Job(nil), jobs...)
+		sort.SliceStable(byFloat, func(i, k int) bool {
+			pi, pk := c.priority(byFloat[i]), c.priority(byFloat[k])
+			if pi != pk {
+				return pi > pk
+			}
+			if byFloat[i].SubmitTime != byFloat[k].SubmitTime {
+				return byFloat[i].SubmitTime < byFloat[k].SubmitTime
+			}
+			return byFloat[i].ID < byFloat[k].ID
+		})
+		byKey := append([]*Job(nil), jobs...)
+		sort.SliceStable(byKey, func(i, k int) bool { return queueBefore(byKey[i], byKey[k]) })
+		for i := range byFloat {
+			if byFloat[i] != byKey[i] {
+				t.Fatalf("now=%v: order diverges at %d: float says job %d, key says job %d",
+					now, i, byFloat[i].ID, byKey[i].ID)
+			}
+		}
 	}
 }
 

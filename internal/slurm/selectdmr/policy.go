@@ -306,19 +306,30 @@ func (p *Policy) decide(v *slurm.QueueView, req slurm.ResizeRequest) slurm.Decis
 		// Line 15: can another job run with (some of) my resources? The
 		// accounting is class-aware: a class-constrained target only
 		// counts free nodes of its class, and a shrink only helps by the
-		// released nodes the target may actually use.
-		for _, t := range pending {
-			if t.ID == job.ID {
-				continue
-			}
-			tn := need(t)
-			tFree := v.FreeNodesFor(t)
-			if tn <= tFree {
-				continue // it can already run; the scheduler will start it
-			}
-			fits := func(n int) bool { return tFree+v.ReleasedEligible(t, n) >= tn }
-			if n, ok := minProcsRun(cur, req.Factor, minP, fits); ok {
-				return slurm.Decision{Action: slurm.Shrink, NewNodes: n, TargetJob: t.ID}
+		// released nodes the target may actually use. When the factor
+		// chain has no legal shrink step at all (size not divisible, or
+		// the step lands below the minimum), minProcsRun fails for every
+		// target — skip the queue scan entirely rather than proving it
+		// once per pending job.
+		factor := req.Factor
+		if factor < 2 {
+			factor = 2
+		}
+		canShrink := cur%factor == 0 && cur/factor >= minP && cur/factor >= 1
+		if canShrink {
+			for _, t := range pending {
+				if t.ID == job.ID {
+					continue
+				}
+				tn := need(t)
+				tFree := v.FreeNodesFor(t)
+				if tn <= tFree {
+					continue // it can already run; the scheduler will start it
+				}
+				fits := func(n int) bool { return tFree+v.ReleasedEligible(t, n) >= tn }
+				if n, ok := minProcsRun(cur, req.Factor, minP, fits); ok {
+					return slurm.Decision{Action: slurm.Shrink, NewNodes: n, TargetJob: t.ID}
+				}
 			}
 		}
 		// Line 20: no pending job can be helped — grow toward the max.

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the scale benchmarks with pinned iteration counts (so runs are
+# comparable across machines and PRs) and writes BENCH_scale.json, the
+# performance trajectory future PRs are measured against.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_scale.json}"
+
+sched=$(go test -run xxx -bench 'BenchmarkSchedulerThroughput$' -benchtime 1x -timeout 1h . | grep '^BenchmarkSchedulerThroughput')
+kernel=$(go test -run xxx -bench 'BenchmarkKernelEventRate$' -benchtime 2000000x . | grep '^BenchmarkKernelEventRate')
+
+# Bench lines look like:
+#   BenchmarkSchedulerThroughput  1  428994330 ns/op  295427 events/s  11655 jobs/s
+#   BenchmarkKernelEventRate  2000000  14.61 ns/op  68429668 events/s
+# Metrics are located by the unit name that follows them (the value is
+# the preceding field), so added metrics or -benchmem cannot silently
+# shift the columns.
+awk -v sched="$sched" -v kernel="$kernel" '
+function metric(line, unit,    f, n) {
+  n = split(line, f)
+  for (i = 2; i <= n; i++) if (f[i] == unit) return f[i-1]
+  print "bench.sh: metric " unit " not found in: " line > "/dev/stderr"
+  exit 1
+}
+BEGIN {
+  printf "{\n"
+  printf "  \"scheduler_throughput_1024n_5000j\": {\"ns_per_run\": %s, \"events_per_sec\": %s, \"jobs_per_sec\": %s},\n", \
+    metric(sched, "ns/op"), metric(sched, "events/s"), metric(sched, "jobs/s")
+  printf "  \"kernel_event_rate\": {\"ns_per_event\": %s, \"events_per_sec\": %s}\n", \
+    metric(kernel, "ns/op"), metric(kernel, "events/s")
+  printf "}\n"
+}' > "$out"
+echo "wrote $out"
+cat "$out"

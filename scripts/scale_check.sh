@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate for simulator performance: runs the scale experiment at its
+# smallest dimension (256 nodes x 1000 jobs, three regimes) and fails if
+# the wall clock regresses more than 2x against the committed budget in
+# scripts/scale_budget_s.txt. The budget is intentionally loose (CI
+# machines are slower and noisier than dev boxes); the gate exists to
+# catch asymptotic regressions — an accidental O(N log N) re-sort in a
+# hot path blows straight through 2x at fleet scale — not percent-level
+# noise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+budget=$(cat scripts/scale_budget_s.txt)
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/experiments -exp scale -quick -csv "$tmp" > /dev/null
+wall=$(awk -F, 'NR>1 {s+=$4} END {printf "%.3f", s}' "$tmp/scale_summary.csv")
+echo "scale -quick: ${wall}s of simulation wall clock (budget ${budget}s, limit $(awk -v b="$budget" 'BEGIN{printf "%.1f", 2*b}')s)"
+awk -v w="$wall" -v b="$budget" 'BEGIN {
+  if (w > 2 * b) {
+    print "scale experiment wall clock " w "s exceeds 2x the committed budget of " b "s" > "/dev/stderr"
+    exit 1
+  }
+}'
