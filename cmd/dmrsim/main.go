@@ -6,7 +6,7 @@
 //	dmrsim [-jobs N] [-nodes N] [-realistic] [-fixed] [-async] [-moldable]
 //	       [-period s] [-seed N] [-trace] [-events]
 //	       [-energy] [-sleep s] [-energypolicy] [-powercap W]
-//	       [-fastnodes N] [-classaware]
+//	       [-fastnodes N] [-classaware] [-thermal] [-ladder]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/slurm"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,8 @@ func main() {
 	powerCap := flag.Float64("powercap", 0, "cluster power cap in watts: defer/throttle starts to stay under it (implies -energy)")
 	fastNodes := flag.Int("fastnodes", -1, "heterogeneous fleet: N reference-class nodes, the rest efficiency-class; jobs carry class demands (implies -energy)")
 	classAware := flag.Bool("classaware", false, "machine-class-aware placement and resize pricing (use with -fastnodes)")
+	thermal := flag.Bool("thermal", false, "thermal envelopes: sustained load forces DVFS throttling (implies -energy)")
+	ladder := flag.Bool("ladder", false, "idle S-state ladder: 9 W suspend after 120 s idle, 4 W deep state after 600 s (implies -energy)")
 	flag.Parse()
 
 	var params workload.Params
@@ -59,11 +62,19 @@ func main() {
 	if *period >= 0 {
 		cfg.SchedPeriod = sim.Seconds(*period)
 	}
-	if *withEnergy || *sleepAfter > 0 || *energyPolicy || *powerCap > 0 {
+	if *ladder && *sleepAfter > 0 {
+		fmt.Fprintln(os.Stderr, "dmrsim: -sleep and -ladder are mutually exclusive (the ladder fixes its own rung timings)")
+		os.Exit(2)
+	}
+	if *withEnergy || *sleepAfter > 0 || *energyPolicy || *powerCap > 0 || *thermal || *ladder {
 		cfg.Energy = true
 		cfg.IdleSleep = sim.Seconds(*sleepAfter)
 		cfg.EnergyPolicy = *energyPolicy
 		cfg.PowerCapW = *powerCap
+		cfg.Thermal = *thermal
+		if *ladder {
+			cfg.SleepLadder = slurm.DefaultSleepLadder()
+		}
 	}
 	if *fastNodes >= 0 {
 		total := cfg.Nodes
@@ -147,6 +158,26 @@ func main() {
 		fmt.Printf("  cluster energy:       %10.0f kJ\n", res.EnergyJ/1e3)
 		fmt.Printf("  avg cluster draw:     %10.0f W\n", res.AvgPowerW)
 		fmt.Printf("  node wake-ups:        %10d\n", sys.Energy.Wakes())
+	}
+	if *thermal {
+		thermSec := 0.0
+		for _, rec := range sys.Ctl.Accounting() {
+			thermSec += rec.ThermalThrottledSec
+		}
+		// The thermal trace only samples DVFS steps: a run that never
+		// crossed the envelope has no samples, so fall back to the live
+		// node temperatures rather than reporting a bogus 0 °C.
+		peak := 0.0
+		if res.Temp != nil {
+			peak = res.Temp.PeakC(res.Makespan)
+		}
+		for i := 0; i < sys.Energy.Nodes(); i++ {
+			if c := sys.Energy.TempC(i); c > peak {
+				peak = c
+			}
+		}
+		fmt.Printf("  peak node temp:       %10.1f °C\n", peak)
+		fmt.Printf("  thermal throttling:   %10.0f node-s\n", thermSec)
 	}
 	if cfg.PowerCapW > 0 {
 		throttled := 0.0

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet|scale] [-quick] [-seed N]
+//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet|scale|thermal] [-quick] [-seed N]
 //
 // The energy experiment compares total cluster energy for rigid,
 // malleable (Algorithm 1) and energy-aware-policy runs of the same
@@ -20,6 +20,14 @@
 // same seeded workload (with per-job machine-class demands), reporting
 // makespan, energy and the slow-class execution stretch.
 //
+// The thermal experiment exercises the node power-state dynamics: a
+// sustained mixed-fleet workload run with and without per-class thermal
+// envelopes (rigid vs malleable vs class-aware — thermal DVFS stretches
+// the rigid makespan, malleability reshapes around the throttled
+// machines), and a sparse-load sweep of sleep configurations showing
+// the deep rungs of the S-state ladder beating the single shallow
+// S-state baseline on energy.
+//
 // The scale experiment measures the simulator itself: 256–2048-node
 // mixed fleets running 1k–10k-job streams under the three regimes,
 // reporting wall-clock seconds, kernel events/sec and completed
@@ -34,6 +42,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -57,10 +66,12 @@ func main() {
 	energySizes := experiments.EnergySizes
 	capJobs, capLevels := experiments.PowerCapJobs, experiments.PowerCapLevels
 	mixedJobs := experiments.MixedFleetJobs
+	thermalJobs, ladderJobs := experiments.ThermalJobs, experiments.LadderJobs
 	var scaleDims []experiments.ScaleDim // nil sweeps the full dimensions
 	if *quick {
 		scaleDims = experiments.ScaleQuickDims
 		mixedJobs = 20
+		thermalJobs, ladderJobs = 20, 10
 		prelimSizes = []int{10, 25, 50}
 		realSizes = []int{20, 50}
 		fig8Jobs, fig9Sizes = 30, []int{10, 25}
@@ -131,6 +142,15 @@ func main() {
 		fmt.Print(experiments.FormatMixedFleet(rows))
 		fmt.Println()
 		writeMixedFleetOutputs(rows)
+	})
+	run("thermal", func() {
+		row := experiments.Thermal(thermalJobs, *seed)
+		ladders := experiments.LadderSweep(ladderJobs, *seed)
+		fmt.Print(experiments.FormatThermal(row))
+		fmt.Println()
+		fmt.Print(experiments.FormatLadder(ladders))
+		fmt.Println()
+		writeThermalOutputs(row, ladders)
 	})
 	run("scale", func() {
 		rows := experiments.Scale(scaleDims, *seed)
@@ -396,6 +416,48 @@ func writeMixedFleetOutputs(rows []experiments.MixedFleetRow) {
 				fmt.Sprintf("Cluster power draw (%d fast : %d efficiency)", r.FastNodes, r.SlowNodes), end, 0,
 				names, colors,
 				[]*metrics.PowerTrace{r.Rigid.Res.Power, r.Malleable.Res.Power, r.ClassAware.Res.Power})
+		})
+	}
+}
+
+// writeThermalOutputs dumps the thermal study: the summary CSV (the
+// golden-pinned artifact), per-regime temperature traces, and an SVG of
+// the rigid regime's hottest-node evolution against the envelope.
+func writeThermalOutputs(row experiments.ThermalRow, ladders []experiments.LadderRun) {
+	regimes := []struct {
+		name string
+		run  experiments.ThermalRun
+	}{
+		{"rigid", row.Rigid}, {"malleable", row.Malleable}, {"classaware", row.ClassAware},
+	}
+	if *csvDir != "" {
+		writeFile(filepath.Join(*csvDir, "thermal_summary.csv"), func(f *os.File) error {
+			return experiments.WriteThermalSummaryCSV(f, row, ladders)
+		})
+		for _, reg := range regimes {
+			if reg.run.Res.Temp == nil {
+				continue
+			}
+			trace := reg.run.Res.Temp
+			writeFile(filepath.Join(*csvDir, "thermal_"+reg.name+"_temp.csv"), func(f *os.File) error {
+				return metrics.WriteTempCSV(f, trace)
+			})
+		}
+	}
+	if *svgDir == "" {
+		return
+	}
+	th := energy.DefaultThermalFor(energy.DefaultProfile())
+	for _, reg := range regimes {
+		if reg.run.Res.Temp == nil {
+			continue
+		}
+		trace, end := reg.run.Res.Temp, reg.run.Res.Makespan
+		name := reg.name
+		writeFile(filepath.Join(*svgDir, "thermal_"+name+"_temp.svg"), func(f *os.File) error {
+			return metrics.WriteTempSVG(f,
+				fmt.Sprintf("Hottest node temperature (%s regime)", name),
+				end, th.ThrottleC, th.RestoreC, trace)
 		})
 	}
 }

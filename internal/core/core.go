@@ -68,6 +68,18 @@ type Config struct {
 	// SleepState selects the S-state idle nodes drop into (0 is the
 	// shallow suspend, deeper states draw less but wake slower).
 	SleepState int
+	// SleepLadder steps idle nodes through progressively deeper S-states
+	// the longer they stay idle, replacing the single IdleSleep/
+	// SleepState drop when non-empty (implies Energy). Allocating a
+	// laddered node pays the wake latency of the rung it occupies.
+	SleepLadder []slurm.SleepRung
+	// Thermal attaches the default per-class thermal envelope to every
+	// node profile that does not already carry one (implies Energy):
+	// sustained load heats nodes past the envelope and forces DVFS
+	// throttling independent of any power cap, and cooling below the
+	// restore threshold clears it. Platforms supplying their own
+	// Profile.Thermal envelopes are honored without this switch.
+	Thermal bool
 	// EnergyPolicy swaps Algorithm 1 for its energy-aware variant:
 	// shrink when the queue is empty so freed nodes sleep, expand only
 	// under dense arrivals.
@@ -115,6 +127,29 @@ func NewSystem(cfg Config) *System {
 	if cfg.Nodes > 0 {
 		pc.Nodes = cfg.Nodes
 	}
+	if cfg.Thermal {
+		// Stamp the default envelope onto every class that lacks one,
+		// scaled to its P0 draw (platform-supplied envelopes win). The
+		// Classes slice shares its backing array with the caller's
+		// config: stamp a copy, or a thermal run would pollute every
+		// later system built from the same platform.
+		if len(pc.Power.PStates) == 0 {
+			pc.Power = energy.DefaultProfile()
+		}
+		if !pc.Power.Thermal.Enabled() {
+			pc.Power.Thermal = energy.DefaultThermalFor(pc.Power)
+		}
+		if len(pc.Classes) > 0 {
+			classes := make([]platform.MachineClass, len(pc.Classes))
+			copy(classes, pc.Classes)
+			pc.Classes = classes
+		}
+		for i := range pc.Classes {
+			if !pc.Classes[i].Power.Thermal.Enabled() {
+				pc.Classes[i].Power.Thermal = energy.DefaultThermalFor(pc.Classes[i].Power)
+			}
+		}
+	}
 	cl := platform.New(pc)
 	scfg := slurm.DefaultConfig()
 	scfg.ClassAware = cfg.ClassAware
@@ -134,15 +169,19 @@ func NewSystem(cfg Config) *System {
 	}
 	var acct *energy.Accountant
 	rec := &metrics.Recorder{}
-	if cfg.PowerCapW > 0 {
-		cfg.Energy = true // capping runs on the accountant's meters
+	if cfg.PowerCapW > 0 || cfg.Thermal || len(cfg.SleepLadder) > 0 {
+		cfg.Energy = true // all three run on the accountant's meters
 	}
 	if cfg.Energy {
 		acct = energy.New(cl.K, cl.PowerProfiles())
 		rec.AttachPower(acct) // before NewController: it may arm sleeps
+		if acct.ThermalEnabled() {
+			rec.AttachThermal(acct)
+		}
 		scfg.Energy = acct
 		scfg.IdleSleep = cfg.IdleSleep
 		scfg.SleepState = cfg.SleepState
+		scfg.SleepLadder = cfg.SleepLadder
 		scfg.PowerCapW = cfg.PowerCapW
 	}
 	ctl := slurm.NewController(cl, scfg)
@@ -241,6 +280,17 @@ func (s *System) Submit(spec workload.Spec) *slurm.Job {
 			j.MinNodes = cfg.Preferred
 		}
 		j.MaxNodes = j.ReqNodes
+		// The scheduler additionally refuses to mold the start below the
+		// app's preferred size. FS-style apps declare no Table I
+		// preference, which used to collapse the floor to MinProcs=1 — a
+		// wide pinned job molded onto a 1-node sliver never regrows under
+		// a deep queue (Algorithm 1 needs free nodes the queue never
+		// leaves). They scale linearly, so their submitted width is the
+		// preferred size.
+		j.PrefNodes = cfg.Preferred
+		if j.PrefNodes == 0 {
+			j.PrefNodes = j.ReqNodes
+		}
 	}
 	rcfg := nanos.Config{
 		SchedPeriod:   cfg.SchedPeriod,
@@ -283,6 +333,7 @@ func (s *System) Run() *metrics.WorkloadResult {
 		res.Power = s.Recorder.PowerTrace
 		res.EnergyJ = res.Power.EnergyJoules(res.Makespan)
 		res.AvgPowerW = res.Power.AvgPowerW(res.Makespan)
+		res.Temp = s.Recorder.TempTrace
 	}
 	return res
 }

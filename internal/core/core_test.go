@@ -181,6 +181,61 @@ func TestEnergyWithDeepSleepCompletesAndMeters(t *testing.T) {
 	}
 }
 
+// Regression for the -exp scale finding: a wide class-pinned flexible
+// FS job used to be molded down to whatever sliver of its class was
+// free (as little as 1 node) and, under a deep queue, never regrew —
+// Algorithm 1's expansions need free nodes a deep queue never leaves,
+// so the job crawled at 1/width of its submitted speed for its whole
+// life. FS-style apps declare no Table I preferred size, which let the
+// molding floor collapse to MinProcs=1; they now carry a
+// preferred-size floor (their submitted width — FS scales linearly, so
+// that is its sweet spot) that classClampSize refuses to mold below.
+func TestClassAwareMoldingPreferredFloor(t *testing.T) {
+	pc := platform.Marenostrum3()
+	pc.Nodes = 16
+	pc.Classes = []platform.MachineClass{
+		{Count: 8, Power: energy.DefaultProfile()},
+		{Count: 8, Power: energy.EfficiencyProfile()},
+	}
+	cfg := DefaultConfig()
+	cfg.Platform = &pc
+	cfg.Energy = true
+	cfg.ClassAware = true
+	sys := NewSystem(cfg)
+
+	xeon := energy.DefaultProfile().Class
+	// Two rigid pinned jobs fill the Xeon class with staggered ends (so
+	// only half the class frees at t≈200), and a stream of rigid 1-node
+	// pinned jobs keeps the queue deep: the molded wide job can never
+	// regrow opportunistically.
+	specs := []workload.Spec{
+		{Class: apps.ClassFS, Index: 0, Nodes: 4, Runtime: 200 * sim.Second, ReqClass: xeon},
+		{Class: apps.ClassFS, Index: 1, Nodes: 4, Runtime: 400 * sim.Second, ReqClass: xeon},
+		{Class: apps.ClassFS, Index: 2, Nodes: 8, Runtime: 100 * sim.Second,
+			Arrival: sim.Second, Flexible: true, ReqClass: xeon},
+	}
+	for i := 0; i < 12; i++ {
+		specs = append(specs, workload.Spec{
+			Class: apps.ClassFS, Index: 3 + i, Nodes: 1, Runtime: 150 * sim.Second,
+			Arrival: 2 * sim.Second, ReqClass: xeon,
+		})
+	}
+	sys.SubmitAll(specs)
+	wide := sys.Jobs()[2]
+	sys.Run()
+
+	started := -1
+	for _, ev := range sys.Ctl.Events {
+		if ev.Kind == slurm.EvStart && ev.JobID == wide.ID {
+			started = ev.Nodes
+			break
+		}
+	}
+	if started != 8 {
+		t.Fatalf("wide pinned flexible job started at %d nodes, want its full 8-node width (preferred-size floor)", started)
+	}
+}
+
 // DVFS speed coupling: the same rigid FS job runs 1/0.6 times longer on
 // an efficiency-class machine (P0 speed 0.6) than on the reference Xeon.
 func TestEfficiencyClassStretchesRuntime(t *testing.T) {

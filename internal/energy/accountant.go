@@ -31,17 +31,35 @@ func (s NodeState) String() string {
 
 // nodeMeter integrates one node's power draw. The integral is exact:
 // power is piecewise constant, and every transition first settles the
-// elapsed interval at the old draw.
+// elapsed interval at the old draw. With a thermal envelope attached the
+// meter additionally carries the node's temperature (advanced in closed
+// form over the same piecewise-constant intervals) and the thermal
+// P-state floor the envelope currently forces.
 type nodeMeter struct {
 	profile Profile
 	state   NodeState
-	pstate  int // active P-state index
+	pstate  int // active P-state index requested by the governor
 	sstate  int // sleep S-state index while sleeping
 	jobID   int // job charged for the node's draw; 0 = unattributed
 	powerW  float64
 	lastT   sim.Time
 	joules  float64
 	wakes   int
+
+	// Thermal DVFS state (profile.Thermal.Enabled() only).
+	thermal  bool
+	tempC    float64 // temperature at lastT
+	tstate   int     // thermal P-state floor (0 = unconstrained)
+	thermGen int     // pending-crossing timer generation
+}
+
+// effP is the P-state the node actually runs at: the deeper of the
+// governor's request and the thermal floor.
+func (m *nodeMeter) effP() int {
+	if m.tstate > m.pstate {
+		return m.tstate
+	}
+	return m.pstate
 }
 
 // Accountant owns the cluster's energy ledger: per-node integrals,
@@ -49,10 +67,21 @@ type nodeMeter struct {
 // methods must be called from simulation (kernel or process) context so
 // that k.Now() is meaningful.
 type Accountant struct {
-	k      *sim.Kernel
-	nodes  []nodeMeter
-	jobs   map[int]float64
-	totalW float64
+	k         *sim.Kernel
+	nodes     []nodeMeter
+	jobs      map[int]float64
+	totalW    float64
+	thermalOn bool // any metered profile carries a thermal envelope
+
+	// thermalSec attributes, per job, the node-seconds its allocation
+	// spent under a binding thermal floor (the thermal_throttled_s
+	// accounting column). Nil unless a thermal envelope is attached.
+	thermalSec map[int]float64
+
+	// flushedAt/flushedOnce memoize Flush: at one instant the first
+	// sweep settles every meter and later sweeps are no-ops.
+	flushedAt   sim.Time
+	flushedOnce bool
 
 	// Pending coalesced power sample: transitions at one timestamp are
 	// folded into a single observation at the settled draw, published
@@ -67,6 +96,16 @@ type Accountant struct {
 	// throttle sweep) yields one sample at the settled draw instead of
 	// one per node (metrics power trace).
 	OnPowerSample func(t sim.Time, totalW float64)
+
+	// OnThermal, when set, observes every thermal DVFS step: node index,
+	// whether the floor deepened (throttle) or cleared (restore), and
+	// the new floor. The controller logs it and re-prices the owning job.
+	OnThermal func(node int, throttled bool, floor int)
+
+	// OnThermalSample, when set, observes (hottest node °C, count of
+	// nodes under a binding thermal floor) after every thermal step
+	// (metrics temperature trace).
+	OnThermalSample func(t sim.Time, maxC float64, throttled int)
 }
 
 // New builds an accountant for len(profiles) nodes, all starting idle at
@@ -78,8 +117,17 @@ func New(k *sim.Kernel, profiles []Profile) *Accountant {
 		if err := p.Validate(); err != nil {
 			panic(fmt.Sprintf("energy: node %d: %v", i, err))
 		}
-		a.nodes = append(a.nodes, nodeMeter{profile: p, state: Idle, powerW: p.IdleW, lastT: k.Now()})
+		m := nodeMeter{profile: p, state: Idle, powerW: p.IdleW, lastT: k.Now()}
+		if p.Thermal.Enabled() {
+			m.thermal = true
+			m.tempC = p.Thermal.AmbientC
+			a.thermalOn = true
+		}
+		a.nodes = append(a.nodes, m)
 		a.totalW += p.IdleW
+	}
+	if a.thermalOn {
+		a.thermalSec = make(map[int]float64)
 	}
 	return a
 }
@@ -87,7 +135,9 @@ func New(k *sim.Kernel, profiles []Profile) *Accountant {
 // Nodes returns how many nodes the accountant meters.
 func (a *Accountant) Nodes() int { return len(a.nodes) }
 
-// advance settles node i's integral up to now at its current draw.
+// advance settles node i's integral — and, with a thermal envelope, its
+// temperature and throttled-time attribution — up to now at its current
+// draw.
 func (a *Accountant) advance(i int) {
 	m := &a.nodes[i]
 	now := a.k.Now()
@@ -96,6 +146,12 @@ func (a *Accountant) advance(i int) {
 		m.joules += j
 		if m.jobID != 0 {
 			a.jobs[m.jobID] += j
+		}
+		if m.thermal {
+			if m.tstate > m.pstate && m.state == Active && m.jobID != 0 {
+				a.thermalSec[m.jobID] += (now - m.lastT).Seconds()
+			}
+			m.tempC = m.profile.Thermal.TempAfter(m.tempC, m.powerW, now-m.lastT)
 		}
 	}
 	m.lastT = now
@@ -146,7 +202,10 @@ func (a *Accountant) NodeActive(i, jobID, ps int) sim.Time {
 	m.state = Active
 	m.pstate = m.profile.clampP(ps)
 	m.jobID = jobID
-	a.setDraw(i, m.profile.ActiveW(m.pstate))
+	// A hot node allocates at its thermal floor: the envelope does not
+	// reset with the job, so the new owner inherits the throttle.
+	a.setDraw(i, m.profile.ActiveW(m.effP()))
+	a.armThermal(i)
 	return wake
 }
 
@@ -157,20 +216,28 @@ func (a *Accountant) NodeIdle(i int) {
 	m.state = Idle
 	m.jobID = 0
 	a.setDraw(i, m.profile.IdleW)
+	a.armThermal(i)
 }
 
-// NodeSleep drops an idle node into S-state ss. Ignored unless the node
-// is idle: an allocated node cannot sleep, and a sleeping node stays in
-// its state (re-entry would reset the deeper-sleep ladder).
+// NodeSleep drops an idle node into S-state ss, or steps an
+// already-sleeping node DEEPER (the idle ladder: the longer a node
+// stays idle, the deeper it sinks). A shallower target on a sleeping
+// node is ignored — resetting the ladder would need a wake — and an
+// allocated node cannot sleep at all.
 func (a *Accountant) NodeSleep(i, ss int) {
 	m := &a.nodes[i]
-	if m.state != Idle {
+	ss = m.profile.clampS(ss)
+	switch {
+	case m.state == Idle:
+	case m.state == Sleeping && ss > m.sstate:
+	default:
 		return
 	}
 	a.advance(i)
 	m.state = Sleeping
-	m.sstate = m.profile.clampS(ss)
-	a.setDraw(i, m.profile.SleepW(m.sstate))
+	m.sstate = ss
+	a.setDraw(i, m.profile.SleepW(ss))
+	a.armThermal(i)
 }
 
 // WakeIdle wakes a sleeping node back to powered-on idle without an
@@ -187,6 +254,7 @@ func (a *Accountant) WakeIdle(i int) sim.Time {
 	m.state = Idle
 	m.jobID = 0
 	a.setDraw(i, m.profile.IdleW)
+	a.armThermal(i)
 	return wake
 }
 
@@ -198,7 +266,8 @@ func (a *Accountant) Reattribute(i, jobID int) {
 	a.nodes[i].jobID = jobID
 }
 
-// SetPState moves an active node to P-state ps (DVFS step).
+// SetPState moves an active node to P-state ps (a governor DVFS step).
+// A binding thermal floor deeper than ps keeps the node at the floor.
 func (a *Accountant) SetPState(i, ps int) {
 	m := &a.nodes[i]
 	if m.state != Active {
@@ -206,7 +275,8 @@ func (a *Accountant) SetPState(i, ps int) {
 	}
 	a.advance(i)
 	m.pstate = m.profile.clampP(ps)
-	a.setDraw(i, m.profile.ActiveW(m.pstate))
+	a.setDraw(i, m.profile.ActiveW(m.effP()))
+	a.armThermal(i)
 }
 
 // State returns node i's current power state.
@@ -232,14 +302,15 @@ func (a *Accountant) WakePreview(i int) sim.Time {
 	return m.profile.WakeLatency(m.sstate)
 }
 
-// Speed returns node i's current relative execution speed: its active
-// P-state speed, or 0 for a node that is not computing.
+// Speed returns node i's current relative execution speed: its
+// effective P-state speed (the deeper of governor request and thermal
+// floor), or 0 for a node that is not computing.
 func (a *Accountant) Speed(i int) float64 {
 	m := &a.nodes[i]
 	if m.state != Active {
 		return 0
 	}
-	return m.profile.SpeedAt(m.pstate)
+	return m.profile.SpeedAt(m.effP())
 }
 
 // TotalPowerW returns the instantaneous cluster draw.
@@ -266,10 +337,19 @@ func (a *Accountant) Wakes() int {
 }
 
 // Flush settles every node's integral up to the kernel's current time.
+// Repeated flushes at one instant are free: once every meter is settled
+// to now, same-time transitions keep them settled (advance is a no-op
+// over a zero interval), so the accounting paths that read per-job
+// integrals in a loop pay one O(nodes) sweep, not one per job.
 func (a *Accountant) Flush() {
+	now := a.k.Now()
+	if a.flushedAt == now && a.flushedOnce {
+		return
+	}
 	for i := range a.nodes {
 		a.advance(i)
 	}
+	a.flushedAt, a.flushedOnce = now, true
 }
 
 // NodeJoules returns node i's energy integral up to now.
@@ -308,4 +388,167 @@ func (a *Accountant) AttributedJoules() float64 {
 // UnattributedJoules is the idle/sleep remainder no job is charged for.
 func (a *Accountant) UnattributedJoules() float64 {
 	return a.TotalJoules() - a.AttributedJoules()
+}
+
+// Thermal DVFS. Every draw transition re-arms at most one pending
+// crossing timer per node: the closed-form trajectory under the new
+// constant draw either crosses the throttle envelope (heating), crosses
+// the restore threshold (cooling with a floor in place), or settles
+// between the two — in which case no timer exists at all. A node with no
+// thermal envelope never schedules anything, so the feature costs the
+// kernel nothing when disabled.
+
+// thermalEps absorbs float error at the crossing instants. Generous on
+// purpose — a millionth of a degree is far below any physical meaning,
+// and a comparison that disagrees with CrossTime about whether the
+// threshold was reached would spin the crossing timer at zero delay.
+const thermalEps = 1e-6
+
+// armThermal predicts node i's next envelope crossing under its current
+// draw and schedules the corresponding DVFS step. Any previously armed
+// timer is invalidated (generation bump).
+func (a *Accountant) armThermal(i int) {
+	m := &a.nodes[i]
+	if !m.thermal {
+		return
+	}
+	m.thermGen++
+	th := m.profile.Thermal
+	teq := th.EquilibriumC(m.powerW)
+	deepest := len(m.profile.PStates) - 1
+	var target float64
+	var throttle bool
+	switch {
+	case m.state == Active && m.tstate < deepest && teq > th.ThrottleC+thermalEps:
+		if m.tempC >= th.ThrottleC-thermalEps {
+			a.thermalThrottle(i)
+			return
+		}
+		target, throttle = th.ThrottleC, true
+	case m.tstate > 0 && teq < th.RestoreC-thermalEps:
+		if m.tempC <= th.RestoreC+thermalEps {
+			a.thermalRestore(i)
+			return
+		}
+		target, throttle = th.RestoreC, false
+	default:
+		return
+	}
+	dt, ok := th.CrossTime(m.tempC, m.powerW, target)
+	if !ok {
+		return
+	}
+	gen := m.thermGen
+	a.k.After(dt, func() {
+		if a.nodes[i].thermGen != gen {
+			return
+		}
+		if throttle {
+			a.thermalThrottle(i)
+		} else {
+			a.thermalRestore(i)
+		}
+	})
+}
+
+// thermalThrottle deepens node i's P-state floor until the equilibrium
+// of the resulting draw stops exceeding the envelope (or the deepest
+// state is reached): a single crossing may take several steps, since a
+// shallow step whose equilibrium still sits above ThrottleC would only
+// reschedule a zero-delay crossing.
+func (a *Accountant) thermalThrottle(i int) {
+	a.advance(i)
+	m := &a.nodes[i]
+	th := m.profile.Thermal
+	deepest := len(m.profile.PStates) - 1
+	stepped := false
+	for m.state == Active && m.tstate < deepest && m.tempC >= th.ThrottleC-thermalEps &&
+		th.EquilibriumC(m.profile.ActiveW(m.effP())) > th.ThrottleC+thermalEps {
+		m.tstate++
+		stepped = true
+	}
+	if !stepped {
+		a.armThermal(i)
+		return
+	}
+	a.setDraw(i, m.profile.ActiveW(m.effP()))
+	if a.OnThermal != nil {
+		a.OnThermal(i, true, m.tstate)
+	}
+	a.thermalSample()
+	a.armThermal(i)
+}
+
+// thermalRestore clears node i's P-state floor once it has cooled to
+// the restore threshold. The hysteresis gap guarantees the node must
+// re-heat from RestoreC to ThrottleC before throttling again.
+func (a *Accountant) thermalRestore(i int) {
+	a.advance(i)
+	m := &a.nodes[i]
+	if m.tstate == 0 {
+		a.armThermal(i)
+		return
+	}
+	m.tstate = 0
+	if m.state == Active {
+		a.setDraw(i, m.profile.ActiveW(m.effP()))
+	}
+	if a.OnThermal != nil {
+		a.OnThermal(i, false, 0)
+	}
+	a.thermalSample()
+	a.armThermal(i)
+}
+
+// thermalSample publishes the cluster's thermal snapshot (hottest node,
+// count of binding floors) to the metrics hook. Read-only: temperatures
+// are projected to now without settling the meters.
+func (a *Accountant) thermalSample() {
+	if a.OnThermalSample == nil {
+		return
+	}
+	now := a.k.Now()
+	maxC, throttled := 0.0, 0
+	for i := range a.nodes {
+		m := &a.nodes[i]
+		if !m.thermal {
+			continue
+		}
+		if c := m.profile.Thermal.TempAfter(m.tempC, m.powerW, now-m.lastT); c > maxC {
+			maxC = c
+		}
+		if m.tstate > 0 {
+			throttled++
+		}
+	}
+	a.OnThermalSample(now, maxC, throttled)
+}
+
+// ThermalEnabled reports whether any metered profile carries a thermal
+// envelope.
+func (a *Accountant) ThermalEnabled() bool { return a.thermalOn }
+
+// ThermalFloor returns node i's thermal P-state floor (0 when
+// unconstrained or no envelope is attached).
+func (a *Accountant) ThermalFloor(i int) int { return a.nodes[i].tstate }
+
+// TempC returns node i's temperature projected to now (ambient when no
+// envelope is attached).
+func (a *Accountant) TempC(i int) float64 {
+	m := &a.nodes[i]
+	if !m.thermal {
+		return m.profile.Thermal.AmbientC
+	}
+	return m.profile.Thermal.TempAfter(m.tempC, m.powerW, a.k.Now()-m.lastT)
+}
+
+// SStateOf returns node i's sleep S-state index (meaningful while the
+// node is sleeping; the last occupied rung otherwise).
+func (a *Accountant) SStateOf(i int) int { return a.nodes[i].sstate }
+
+// JobThermalSec returns the node-seconds job id's allocation spent under
+// a binding thermal floor.
+func (a *Accountant) JobThermalSec(id int) float64 {
+	a.Flush()
+	return a.thermalSec[id]
 }

@@ -44,6 +44,9 @@ type Profile struct {
 	// SStates are the sleep states, shallowest first. An idle node with
 	// sleep enabled is charged at one of these after its idle timeout.
 	SStates []SState
+	// Thermal is the class's thermal envelope; the zero value disables
+	// thermal DVFS (no temperature is tracked and no throttling occurs).
+	Thermal Thermal
 }
 
 // Validate reports whether the profile is usable: at least one P-state
@@ -82,6 +85,9 @@ func (p Profile) Validate() error {
 	}
 	if p.IdleW < p.SStates[0].PowerW {
 		return fmt.Errorf("energy: profile %q idles below its shallowest sleep", p.Class)
+	}
+	if err := p.Thermal.Validate(); err != nil {
+		return fmt.Errorf("energy: profile %q: %v", p.Class, err)
 	}
 	return nil
 }

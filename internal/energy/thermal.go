@@ -1,0 +1,127 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Thermal is a machine class's lumped thermal model: the node is one
+// heat capacity coupled to ambient air through a constant conductance,
+// heated by its own electrical draw (every watt a node draws ends up as
+// heat). Temperature therefore relaxes exponentially toward the
+// equilibrium of the current draw with time constant Capacity over
+// Conductance, and the accountant advances it in closed form at every
+// power transition — no per-tick integration.
+//
+// The envelope drives thermal DVFS, independent of any power-cap
+// governor: when a node's temperature crosses ThrottleC the accountant
+// steps its P-state floor down until the new equilibrium stops
+// exceeding the envelope, and once it has cooled to RestoreC the floor
+// is cleared again. The gap between the two thresholds is the
+// hysteresis that keeps the state machine from flapping.
+//
+// The zero value disables the model (ThrottleC == 0).
+type Thermal struct {
+	// CapacityJPerC is the node's lumped heat capacity (joules per °C).
+	CapacityJPerC float64
+	// ConductanceWPerC couples the node to ambient: passive cooling
+	// removes ConductanceWPerC × (T − AmbientC) watts.
+	ConductanceWPerC float64
+	// AmbientC is the inlet air temperature and the cold-start value.
+	AmbientC float64
+	// ThrottleC is the envelope: crossing it steps the node's thermal
+	// P-state floor down.
+	ThrottleC float64
+	// RestoreC clears the floor once the node has cooled to it; must sit
+	// strictly below ThrottleC (hysteresis).
+	RestoreC float64
+}
+
+// Enabled reports whether the thermal model is active.
+func (t Thermal) Enabled() bool { return t.ThrottleC > 0 }
+
+// Validate reports whether an enabled envelope is physically usable.
+func (t Thermal) Validate() error {
+	if !t.Enabled() {
+		return nil
+	}
+	if t.CapacityJPerC <= 0 {
+		return fmt.Errorf("thermal: heat capacity %.2f J/°C must be positive", t.CapacityJPerC)
+	}
+	if t.ConductanceWPerC <= 0 {
+		return fmt.Errorf("thermal: conductance %.2f W/°C must be positive", t.ConductanceWPerC)
+	}
+	if t.RestoreC >= t.ThrottleC {
+		return fmt.Errorf("thermal: restore %.1f °C must sit below throttle %.1f °C (hysteresis)", t.RestoreC, t.ThrottleC)
+	}
+	if t.AmbientC >= t.RestoreC {
+		return fmt.Errorf("thermal: ambient %.1f °C reaches the restore threshold %.1f °C — the floor could never clear", t.AmbientC, t.RestoreC)
+	}
+	return nil
+}
+
+// EquilibriumC is the temperature a node converges to at a steady draw.
+func (t Thermal) EquilibriumC(powerW float64) float64 {
+	return t.AmbientC + powerW/t.ConductanceWPerC
+}
+
+// tau is the exponential time constant in seconds.
+func (t Thermal) tau() float64 { return t.CapacityJPerC / t.ConductanceWPerC }
+
+// TempAfter advances a temperature by dt under a constant draw.
+func (t Thermal) TempAfter(t0, powerW float64, dt sim.Time) float64 {
+	if dt <= 0 {
+		return t0
+	}
+	teq := t.EquilibriumC(powerW)
+	return teq + (t0-teq)*math.Exp(-dt.Seconds()/t.tau())
+}
+
+// CrossTime returns how long a node at t0 under a constant draw takes
+// to reach target, and whether it ever does: temperature moves
+// monotonically toward the equilibrium, so the target must lie strictly
+// between the two. The result is rounded UP to the next representable
+// instant — a crossing timer that fires a hair early would find the
+// threshold not yet reached and reschedule itself at zero delay forever.
+func (t Thermal) CrossTime(t0, powerW, target float64) (sim.Time, bool) {
+	teq := t.EquilibriumC(powerW)
+	if !((t0 < target && target < teq) || (teq < target && target < t0)) {
+		return 0, false
+	}
+	return sim.Seconds(t.tau()*math.Log((t0-teq)/(target-teq))) + 1, true
+}
+
+// DefaultThermalFor derives a class envelope from a profile's P0 draw,
+// normalizing every class to the same thermal geometry: sustained P0
+// load equilibrates 82.5 °C above ambient — past the throttle threshold
+// at ambient+70 — while the first throttle step already settles below
+// it, so a loaded node oscillates between a full-speed burst and a
+// sustainable P1 cruise. The floor clears at ambient+45 (idle
+// equilibria sit at ambient+30 for the stock profiles), and the time
+// constant of 200 s makes heat-up from cold take roughly six minutes of
+// sustained load.
+func DefaultThermalFor(p Profile) Thermal {
+	const (
+		ambient    = 25.0
+		p0RiseC    = 82.5
+		throttleAt = ambient + 70
+		restoreAt  = ambient + 45
+		tauSec     = 200.0
+	)
+	g := p.ActiveW(0) / p0RiseC
+	return Thermal{
+		CapacityJPerC:    tauSec * g,
+		ConductanceWPerC: g,
+		AmbientC:         ambient,
+		ThrottleC:        throttleAt,
+		RestoreC:         restoreAt,
+	}
+}
+
+// WithThermal returns a copy of the profile carrying the envelope.
+func WithThermal(p Profile, t Thermal) Profile {
+	p.Thermal = t
+	return p
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/slurm"
 	"repro/internal/workload"
 )
 
@@ -50,4 +51,61 @@ func TestSchedulerDeterminismGolden(t *testing.T) {
 		len(sys.Ctl.Events), sha256.Sum256(events.Bytes()))
 	checkGolden(t, "determinism_50j_summary.txt", []byte(summary))
 	checkGolden(t, "determinism_50j_accounting.csv", acct.Bytes())
+}
+
+// TestSchedulerDeterminismGoldenThermalLadder pins the same oracle with
+// the node power-state dynamics switched ON: thermal envelopes on every
+// node (sustained load forces DVFS throttling) and a two-rung S-state
+// ladder (idle nodes sink from the 9 W suspend to the 4 W deep state).
+// Future hot-path or policy work cannot silently re-time a thermal
+// crossing, a ladder descent, or the wake pricing they feed — and the
+// sibling test above proves the dynamics are byte-invisible when off.
+func TestSchedulerDeterminismGoldenThermalLadder(t *testing.T) {
+	specs := workload.SetFlexible(workload.Generate(workload.Realistic(50, DefaultSeed)), true)
+	cfg := energyConfig(false)
+	cfg.IdleSleep = 0
+	cfg.SleepLadder = slurm.DefaultSleepLadder()
+	cfg.Thermal = true
+	sys := core.NewSystem(cfg)
+
+	var trace bytes.Buffer
+	resumes := 0
+	sys.Cluster.K.Trace = func(tm sim.Time, what string) {
+		resumes++
+		fmt.Fprintf(&trace, "%d %s\n", int64(tm), what)
+	}
+	sys.SubmitAll(specs)
+	res := sys.Run()
+
+	var events bytes.Buffer
+	throttles, restores, sleeps := 0, 0, 0
+	for _, ev := range sys.Ctl.Events {
+		fmt.Fprintf(&events, "%d %v %d %d %s\n", int64(ev.T), ev.Kind, ev.JobID, ev.Nodes, ev.Info)
+		switch ev.Kind {
+		case slurm.EvThermalThrottle:
+			throttles++
+		case slurm.EvThermalRestore:
+			restores++
+		case slurm.EvSleep:
+			sleeps++
+		}
+	}
+	if throttles == 0 {
+		t.Fatal("the thermal workload never crossed an envelope — the golden would pin nothing")
+	}
+	var acct bytes.Buffer
+	if err := sys.Ctl.WriteAccountingCSV(&acct); err != nil {
+		t.Fatal(err)
+	}
+
+	summary := fmt.Sprintf("jobs %d\nmakespan_s %.3f\nenergy_j %.1f\n"+
+		"therm_throttles %d\ntherm_restores %d\nsleep_steps %d\npeak_temp_c %.2f\n"+
+		"kernel_events %d\nproc_resumes %d\nresume_trace_sha256 %x\n"+
+		"ctl_events %d\nctl_events_sha256 %x\n",
+		res.Jobs, res.Makespan.Seconds(), res.EnergyJ,
+		throttles, restores, sleeps, res.Temp.PeakC(res.Makespan),
+		sys.Cluster.K.Events(), resumes, sha256.Sum256(trace.Bytes()),
+		len(sys.Ctl.Events), sha256.Sum256(events.Bytes()))
+	checkGolden(t, "determinism_50j_thermal_summary.txt", []byte(summary))
+	checkGolden(t, "determinism_50j_thermal_accounting.csv", acct.Bytes())
 }

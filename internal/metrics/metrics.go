@@ -29,10 +29,13 @@ type Trace struct {
 }
 
 // Recorder hooks a controller and accumulates a trace, plus the power
-// trace when an energy accountant is attached (AttachPower).
+// trace when an energy accountant is attached (AttachPower) and the
+// thermal trace when the accountant carries a thermal envelope
+// (AttachThermal).
 type Recorder struct {
 	Trace      Trace
 	PowerTrace *PowerTrace
+	TempTrace  *TempTrace
 }
 
 // Attach registers the recorder on the controller.
@@ -96,6 +99,9 @@ type WorkloadResult struct {
 	EnergyJ   float64
 	AvgPowerW float64
 	Power     *PowerTrace
+	// Temp is the thermal evolution, filled when the run's node profiles
+	// carried a thermal envelope.
+	Temp *TempTrace
 }
 
 // Collect computes the result over the given jobs and trace.

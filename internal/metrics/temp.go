@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+)
+
+// TempSample is one point of the cluster thermal evolution: the hottest
+// node's temperature and how many nodes sit under a binding thermal
+// P-state floor at that instant.
+type TempSample struct {
+	T         sim.Time
+	MaxC      float64
+	Throttled int
+}
+
+// TempTrace records the thermal evolution over a workload execution.
+// Samples are event-driven (one per thermal throttle/restore step);
+// between samples the hottest temperature follows the exponential
+// trajectory of the thermal model, so the trace is a sparse envelope,
+// not a dense curve.
+type TempTrace struct {
+	Samples []TempSample
+}
+
+// PeakC returns the hottest sampled temperature in [0, end].
+func (tr *TempTrace) PeakC(end sim.Time) float64 {
+	peak := 0.0
+	for _, s := range tr.Samples {
+		if s.T > end {
+			break
+		}
+		if s.MaxC > peak {
+			peak = s.MaxC
+		}
+	}
+	return peak
+}
+
+// AttachThermal hooks an energy accountant's thermal sampler to the
+// recorder. Requires a thermal envelope on at least one node profile.
+func (r *Recorder) AttachThermal(a *energy.Accountant) {
+	r.TempTrace = &TempTrace{}
+	a.OnThermalSample = func(t sim.Time, maxC float64, throttled int) {
+		r.TempTrace.Samples = append(r.TempTrace.Samples, TempSample{T: t, MaxC: maxC, Throttled: throttled})
+	}
+}
+
+// WriteTempCSV dumps the thermal trace as CSV rows of (t_s, max_temp_c,
+// throttled_nodes).
+func WriteTempCSV(w io.Writer, tr *TempTrace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_s", "max_temp_c", "throttled_nodes"}); err != nil {
+		return err
+	}
+	for _, s := range tr.Samples {
+		rec := []string{
+			fmt.Sprintf("%.3f", s.T.Seconds()),
+			fmt.Sprintf("%.2f", s.MaxC),
+			fmt.Sprint(s.Throttled),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTempSVG renders the hottest-node temperature evolution as an SVG
+// line chart with the throttle envelope and restore threshold drawn as
+// dashed reference lines.
+func WriteTempSVG(w io.Writer, title string, end sim.Time, throttleC, restoreC float64, tr *TempTrace) error {
+	yMax := throttleC
+	for _, s := range tr.Samples {
+		if s.MaxC > yMax {
+			yMax = s.MaxC
+		}
+	}
+	st := &Trace{}
+	for _, s := range tr.Samples {
+		st.Samples = append(st.Samples, Sample{T: s.T, Alloc: int(s.MaxC + 0.5)})
+	}
+	series := []Series{{Name: "hottest node", Color: "#d62728", Trace: st,
+		Value: func(s Sample) int { return s.Alloc }}}
+	var refs []RefLine
+	if throttleC > 0 {
+		refs = append(refs, RefLine{Label: fmt.Sprintf("throttle %.0f °C", throttleC), Y: throttleC, Color: "#555"})
+	}
+	if restoreC > 0 {
+		refs = append(refs, RefLine{Label: fmt.Sprintf("restore %.0f °C", restoreC), Y: restoreC, Color: "#999"})
+	}
+	return WriteEvolutionRefSVG(w, title, "temperature (°C)", int(yMax+1), end, series, refs)
+}

@@ -103,7 +103,13 @@ func (c Config) Validate() error {
 		if mc.Count > 0 && len(mc.Power.PStates) == 0 {
 			return fmt.Errorf("platform: class %d (%q) has no P-states", i, mc.Power.Class)
 		}
+		if err := mc.Power.Thermal.Validate(); err != nil {
+			return fmt.Errorf("platform: class %d (%q): %v", i, mc.Power.Class, err)
+		}
 		covered += mc.Count
+	}
+	if err := c.Power.Thermal.Validate(); err != nil {
+		return fmt.Errorf("platform: %v", err)
 	}
 	if covered > c.Nodes {
 		return fmt.Errorf("platform: classes cover %d nodes but the cluster has %d", covered, c.Nodes)

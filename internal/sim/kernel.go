@@ -201,6 +201,22 @@ func (k *Kernel) Run() {
 	k.run(func(event) bool { return true })
 }
 
+// Step executes exactly one pending calendar event and reports whether
+// one ran. Calling Step until it returns false is equivalent to Run; the
+// invariant-fuzzing harness uses it to interleave whole-system checks
+// between every pair of events.
+func (k *Kernel) Step() bool {
+	ran := false
+	k.run(func(event) bool {
+		if ran {
+			return false
+		}
+		ran = true
+		return true
+	})
+	return ran
+}
+
 // RunUntil executes events with time <= t, then sets the clock to t.
 func (k *Kernel) RunUntil(t Time) {
 	k.run(func(ev event) bool { return ev.t <= t })

@@ -31,6 +31,10 @@ type JobRecord struct {
 	// ThrottledSec is how long the power-cap governor held the job's
 	// nodes below P0.
 	ThrottledSec float64
+	// ThermalThrottledSec is the node-seconds the job's allocation spent
+	// under a binding thermal P-state floor (the envelope forced a node
+	// below the governor's state). Zero without a thermal envelope.
+	ThermalThrottledSec float64
 	// ClassDemand is the job's machine-class demand: "class" for a hard
 	// constraint, "~class" for a soft preference, empty for indifferent.
 	ClassDemand string
@@ -76,6 +80,7 @@ func (c *Controller) Accounting() []JobRecord {
 			if rec.ExecSec > 0 {
 				rec.AvgPowerW = rec.EnergyJ / rec.ExecSec
 			}
+			rec.ThermalThrottledSec = c.cfg.Energy.JobThermalSec(j.ID)
 		}
 		out = append(out, rec)
 	}
@@ -83,14 +88,27 @@ func (c *Controller) Accounting() []JobRecord {
 	return out
 }
 
-// WriteAccountingCSV dumps the accounting records as CSV.
+// thermalEnabled reports whether the controller meters nodes carrying a
+// thermal envelope (the thermal_throttled_s accounting column exists
+// only then, keeping thermal-free pipelines byte-identical).
+func (c *Controller) thermalEnabled() bool {
+	return c.cfg.Energy != nil && c.cfg.Energy.ThermalEnabled()
+}
+
+// WriteAccountingCSV dumps the accounting records as CSV. Clusters with
+// a thermal envelope gain a trailing thermal_throttled_s column.
 func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
+	thermal := c.thermalEnabled()
+	header := []string{
 		"id", "name", "state", "req_nodes", "submit_s", "start_s", "end_s",
 		"wait_s", "exec_s", "completion_s", "resizes", "node_seconds", "flexible",
 		"energy_j", "avg_power_w", "throttled_s", "class_demand", "min_class_speed",
-	}); err != nil {
+	}
+	if thermal {
+		header = append(header, "thermal_throttled_s")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, r := range c.Accounting() {
@@ -103,6 +121,9 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 			fmt.Sprintf("%.1f", r.EnergyJ), fmt.Sprintf("%.1f", r.AvgPowerW),
 			fmt.Sprintf("%.1f", r.ThrottledSec),
 			r.ClassDemand, fmt.Sprintf("%.2f", r.MinClassSpeed),
+		}
+		if thermal {
+			rec = append(rec, fmt.Sprintf("%.1f", r.ThermalThrottledSec))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

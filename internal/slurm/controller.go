@@ -34,6 +34,16 @@ type Config struct {
 	// shallowest). Allocating a sleeping node pays its wake latency
 	// before the job launches.
 	SleepState int
+	// SleepLadder, when non-empty, replaces the single IdleSleep/
+	// SleepState drop with a deepening ladder: a node idle for
+	// rung.AfterIdle sinks to rung.State, stepping deeper the longer it
+	// stays idle. Rungs must have strictly increasing AfterIdle and
+	// State (deeper rungs draw less but wake slower — allocating a
+	// laddered node pays the wake latency of the rung it actually
+	// occupies, so energy-aware backfill's wake pricing and the
+	// allocator's awake-first preference face a real gradient).
+	// Requires Energy.
+	SleepLadder []SleepRung
 	// PowerCapW bounds the instantaneous cluster draw (facility power
 	// budget). Before each start the controller projects the new
 	// allocation's draw and, when it would breach the cap, first
@@ -94,6 +104,7 @@ type Controller struct {
 	kicked    bool
 	rpcSlot   *sim.Resource // serializes reconfiguration decisions
 	sleepGen  []int         // per-node timer generation; allocation invalidates armed sleeps
+	ladder    []SleepRung   // normalized idle S-state ladder (nil: idle nodes never sleep)
 
 	// pick is the pass-scoped placement cache: pickNodes answers for one
 	// job at one pool version, shared by classClampSize, backfillEnd,
@@ -117,10 +128,61 @@ type Controller struct {
 	OnSample func(t sim.Time, allocatedNodes, runningJobs, completedJobs, pendingJobs int)
 }
 
+// SleepRung is one step of the idle S-state ladder: a node that has
+// been idle for AfterIdle drops to S-state State.
+type SleepRung struct {
+	AfterIdle sim.Time
+	State     int
+}
+
+// DefaultSleepLadder is the stock two-rung ladder matched to the
+// default profiles' two S-states: the shallow suspend after two idle
+// minutes (the energy experiments' idle timeout), the deep state after
+// ten.
+func DefaultSleepLadder() []SleepRung {
+	return []SleepRung{
+		{AfterIdle: 120 * sim.Second, State: 0},
+		{AfterIdle: 600 * sim.Second, State: 1},
+	}
+}
+
+// validateLadder checks a configured S-state ladder: rungs must exist,
+// start after a positive idle time, and step strictly deeper at
+// strictly later times — a rung that wakes earlier or shallower than
+// its predecessor could never be entered (the accountant only deepens
+// sleeping nodes).
+func validateLadder(ladder []SleepRung) error {
+	for i, r := range ladder {
+		if r.AfterIdle <= 0 {
+			return fmt.Errorf("slurm: sleep ladder rung %d fires after %v; idle times must be positive", i, r.AfterIdle)
+		}
+		if r.State < 0 {
+			return fmt.Errorf("slurm: sleep ladder rung %d targets S-state %d", i, r.State)
+		}
+		if i > 0 {
+			if r.AfterIdle <= ladder[i-1].AfterIdle {
+				return fmt.Errorf("slurm: sleep ladder rung %d fires at %v, not after rung %d's %v", i, r.AfterIdle, i-1, ladder[i-1].AfterIdle)
+			}
+			if r.State <= ladder[i-1].State {
+				return fmt.Errorf("slurm: sleep ladder rung %d targets S%d, not deeper than rung %d's S%d", i, r.State, i-1, ladder[i-1].State)
+			}
+		}
+	}
+	return nil
+}
+
 // NewController builds a controller over the cluster's nodes.
 func NewController(c *platform.Cluster, cfg Config) *Controller {
 	if cfg.PowerCapW > 0 && cfg.Energy == nil {
 		panic("slurm: PowerCapW requires an energy accountant")
+	}
+	if len(cfg.SleepLadder) > 0 {
+		if cfg.Energy == nil {
+			panic("slurm: SleepLadder requires an energy accountant")
+		}
+		if err := validateLadder(cfg.SleepLadder); err != nil {
+			panic(err)
+		}
 	}
 	ctl := &Controller{
 		cluster:  c,
@@ -133,6 +195,17 @@ func NewController(c *platform.Cluster, cfg Config) *Controller {
 		running:  make(map[int]*Job),
 		rpcSlot:  sim.NewResource(c.K, 1),
 		sleepGen: make([]int, len(c.Nodes)),
+	}
+	// Normalize the sleep configuration into one ladder: the legacy
+	// single-state drop is a one-rung ladder.
+	if cfg.Energy != nil {
+		switch {
+		case len(cfg.SleepLadder) > 0:
+			ctl.ladder = cfg.SleepLadder
+		case cfg.IdleSleep > 0:
+			ctl.ladder = []SleepRung{{AfterIdle: cfg.IdleSleep, State: cfg.SleepState}}
+		}
+		cfg.Energy.OnThermal = ctl.onThermal
 	}
 	// Nodes start idle; with sleep enabled they doze off unless a job
 	// claims them within the idle timeout.
@@ -546,35 +619,89 @@ func (c *Controller) powerRelease(nodes []*platform.Node) {
 	}
 }
 
-// armSleep schedules the idle→sleep drop for a node that just became
-// free. A later allocation bumps the node's generation, voiding the
-// timer; the accountant additionally refuses to sleep non-idle nodes.
-// Drained nodes never sleep: they are held out of service for
+// armSleep schedules the idle→sleep descent for a node that just became
+// free. A later allocation bumps the node's generation, voiding any
+// armed timer; the accountant additionally refuses to sleep non-idle
+// nodes. Drained nodes never sleep: they are held out of service for
 // maintenance and stay powered on.
 func (c *Controller) armSleep(n *platform.Node) {
-	if c.cfg.Energy == nil || c.cfg.IdleSleep <= 0 || c.drained[n.Index] {
+	if len(c.ladder) == 0 || c.drained[n.Index] {
 		return
 	}
 	c.sleepGen[n.Index]++
-	gen := c.sleepGen[n.Index]
-	c.k.After(c.cfg.IdleSleep, func() {
+	c.armRung(n, c.sleepGen[n.Index], 0)
+}
+
+// armRung schedules one rung of the S-state ladder. Rungs chain: the
+// next rung's timer is only armed after the previous one fires, so a
+// node carries at most ONE pending sleep timer however deep the ladder
+// — an idle fleet floods the calendar with O(nodes) timers, not
+// O(nodes × rungs).
+func (c *Controller) armRung(n *platform.Node, gen, rung int) {
+	delay := c.ladder[rung].AfterIdle
+	if rung > 0 {
+		delay -= c.ladder[rung-1].AfterIdle
+	}
+	c.k.After(delay, func() {
 		if c.sleepGen[n.Index] != gen {
 			return
 		}
-		c.cfg.Energy.NodeSleep(n.Index, c.cfg.SleepState)
-		if c.cfg.Energy.State(n.Index) == energy.Sleeping {
-			// The free pool orders awake nodes before sleeping ones:
-			// move the node to its class's sleeping half.
+		a := c.cfg.Energy
+		wasSleeping := a.State(n.Index) == energy.Sleeping
+		prevRung := a.SStateOf(n.Index)
+		a.NodeSleep(n.Index, c.ladder[rung].State)
+		if a.State(n.Index) == energy.Sleeping && (!wasSleeping || a.SStateOf(n.Index) != prevRung) {
+			// The node actually descended (the accountant refuses
+			// non-idle nodes and clamps rungs past the profile's S-state
+			// range, which can make a deeper rung a no-op). The free
+			// pool orders awake nodes before sleeping ones: move the
+			// node to its class's sleeping half.
 			c.pool.markAsleep(n.Index)
+			c.logNode(EvSleep, n, 0)
+			if c.capped() {
+				// The idle draw just dropped: headroom for throttled
+				// jobs, and possibly enough watts to admit a cap-blocked
+				// start.
+				c.capRestore()
+				c.kick()
+			}
 		}
-		c.logNode(EvSleep, n, 0)
-		if c.capped() {
-			// The idle draw just dropped: headroom for throttled jobs,
-			// and possibly enough watts to admit a cap-blocked start.
-			c.capRestore()
-			c.kick()
+		if rung+1 < len(c.ladder) {
+			c.armRung(n, gen, rung+1)
 		}
 	})
+}
+
+// onThermal receives every thermal DVFS step from the accountant: log
+// it, re-price the owning job (its coupled step loop now runs at the
+// thermal floor), and keep the power-cap governor honest — a throttle
+// sheds watts that may restore governor-throttled jobs, while a restore
+// on an active node raises draw the governor never admitted.
+func (c *Controller) onThermal(node int, throttled bool, floor int) {
+	n := c.cluster.Nodes[node]
+	owner := c.owner[node]
+	ev := Event{T: c.k.Now(), Kind: EvThermalRestore, Nodes: 1, Info: n.Name}
+	if throttled {
+		ev.Kind = EvThermalThrottle
+		ev.Info = fmt.Sprintf("%s p%d", n.Name, floor)
+	}
+	if owner > 0 {
+		ev.JobID = owner
+	}
+	c.Events = append(c.Events, ev)
+	if owner > 0 {
+		if j := c.running[owner]; j != nil {
+			j.invalidateSpeed()
+			c.repositionEndOrder(j)
+		}
+	}
+	if c.capped() {
+		if throttled {
+			c.capRestore()
+		} else {
+			c.capEnforce()
+		}
+	}
 }
 
 // powerReattribute moves held nodes' draw to a different job (0 clears

@@ -16,10 +16,12 @@ const (
 	EvDetach
 	EvGrow
 	EvBoost
-	EvSleep    // node dropped to a sleep state after its idle timeout
-	EvWake     // sleeping node resumed for an allocation
-	EvThrottle // power-cap governor stepped a job's nodes below P0
-	EvRestore  // throttled job stepped back toward P0 as headroom returned
+	EvSleep           // node dropped to a sleep state after its idle timeout
+	EvWake            // sleeping node resumed for an allocation
+	EvThrottle        // power-cap governor stepped a job's nodes below P0
+	EvRestore         // throttled job stepped back toward P0 as headroom returned
+	EvThermalThrottle // a node crossed its thermal envelope and its P-state floor deepened
+	EvThermalRestore  // a node cooled to the restore threshold and its floor cleared
 )
 
 func (k EventKind) String() string {
@@ -50,6 +52,10 @@ func (k EventKind) String() string {
 		return "THROTTLE"
 	case EvRestore:
 		return "RESTORE"
+	case EvThermalThrottle:
+		return "THERM_THROTTLE"
+	case EvThermalRestore:
+		return "THERM_RESTORE"
 	}
 	return "?"
 }

@@ -1,0 +1,271 @@
+package slurm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// The invariant-fuzzing harness: randomized workloads (widths, runtimes,
+// arrivals, class demands, moldable ranges, mid-run shrinks, drains)
+// executed one kernel event at a time (sim.Kernel.Step), with the whole
+// power/scheduling state machine checked between every pair of events.
+// The point is not any single scenario but the cross product: every
+// config axis of the energy stack — accounting, power capping,
+// class-aware placement, thermal DVFS, the S-state ladder — composed
+// with every other, under workloads nobody hand-picked.
+
+type invConfig struct {
+	name       string
+	powercap   bool
+	classaware bool
+	thermal    bool
+	ladder     bool
+}
+
+var invConfigs = []invConfig{
+	{name: "energy"},
+	{name: "powercap", powercap: true},
+	{name: "classaware", classaware: true},
+	{name: "thermal", thermal: true},
+	{name: "ladder", ladder: true},
+	{name: "everything", powercap: true, classaware: true, thermal: true, ladder: true},
+}
+
+// invNodeSnap is one node's power-relevant state between two events.
+type invNodeSnap struct {
+	state  energy.NodeState
+	sstate int
+	floor  int
+}
+
+// invChecker asserts the state machine's invariants after every event.
+type invChecker struct {
+	c      *Controller
+	cfg    invConfig
+	prev   []invNodeSnap
+	joules float64
+}
+
+func newInvChecker(c *Controller, cfg invConfig) *invChecker {
+	k := &invChecker{c: c, cfg: cfg, prev: make([]invNodeSnap, len(c.cluster.Nodes))}
+	for i := range k.prev {
+		k.prev[i] = k.snap(i)
+	}
+	return k
+}
+
+func (k *invChecker) snap(i int) invNodeSnap {
+	a := k.c.Energy()
+	return invNodeSnap{state: a.State(i), sstate: a.SStateOf(i), floor: a.ThermalFloor(i)}
+}
+
+func (k *invChecker) check(t *testing.T) {
+	t.Helper()
+	c, a := k.c, k.c.Energy()
+	now := c.k.Now()
+	sum := 0.0
+	for i := range c.cluster.Nodes {
+		cur := k.snap(i)
+		prev := k.prev[i]
+		// Legal state transitions: an active node never falls asleep in
+		// place (it must be released first, and the sleep descent is a
+		// later timer event), and a sleeping node only ever deepens —
+		// leaving sleep means waking to Idle or Active.
+		if prev.state == energy.Active && cur.state == energy.Sleeping {
+			t.Fatalf("t=%v node %d went ACTIVE→SLEEPING within one event", now, i)
+		}
+		if prev.state == energy.Sleeping && cur.state == energy.Sleeping && cur.sstate < prev.sstate {
+			t.Fatalf("t=%v node %d sleep rung went shallower in place: S%d→S%d", now, i, prev.sstate, cur.sstate)
+		}
+		// No node is simultaneously allocated (or held) and asleep.
+		if c.owner[i] != 0 && cur.state != energy.Active {
+			t.Fatalf("t=%v node %d owned by %d but %v", now, i, c.owner[i], cur.state)
+		}
+		// The free pool's sleeping half agrees with the accountant, and
+		// no node sits in both halves of its class pool.
+		cp := c.pool.byNode[i]
+		if cp.awake.has(i) && cp.asleep.has(i) {
+			t.Fatalf("t=%v node %d in both awake and asleep bitmaps", now, i)
+		}
+		if cp.asleep.has(i) && cur.state != energy.Sleeping {
+			t.Fatalf("t=%v node %d pooled as asleep but %v", now, i, cur.state)
+		}
+		if c.pool.contains(i) && cur.state == energy.Active {
+			t.Fatalf("t=%v node %d is in the free pool while ACTIVE", now, i)
+		}
+		// Thermal floors stay within the profile's P-state range and
+		// temperatures never undershoot ambient.
+		if th := c.cluster.Nodes[i].Power.Thermal; th.Enabled() {
+			if cur.floor < 0 || cur.floor >= len(c.cluster.Nodes[i].Power.PStates) {
+				t.Fatalf("t=%v node %d thermal floor %d out of range", now, i, cur.floor)
+			}
+			if temp := a.TempC(i); temp < th.AmbientC-1e-6 {
+				t.Fatalf("t=%v node %d at %.3f °C, below ambient", now, i, temp)
+			}
+		} else if cur.floor != 0 {
+			t.Fatalf("t=%v node %d has thermal floor %d without an envelope", now, i, cur.floor)
+		}
+		sum += a.NodePowerW(i)
+		k.prev[i] = cur
+	}
+	// The cluster total is exactly the sum of per-node draws.
+	if math.Abs(sum-a.TotalPowerW()) > 1e-6 {
+		t.Fatalf("t=%v TotalPowerW %.6f != Σ node draws %.6f", now, a.TotalPowerW(), sum)
+	}
+	// Energy only ever accumulates.
+	if j := a.TotalJoules(); j < k.joules-1e-6 {
+		t.Fatalf("t=%v energy integral went backwards: %.3f → %.3f", now, k.joules, j)
+	} else {
+		k.joules = j
+	}
+	// The power cap holds between events. Thermal restores can lift a
+	// node's floor outside admission control; capEnforce sheds the
+	// excess best-effort, so the hard bound is only asserted without an
+	// envelope.
+	if k.cfg.powercap && !k.cfg.thermal {
+		if a.TotalPowerW() > c.cfg.PowerCapW+1e-6 {
+			t.Fatalf("t=%v draw %.1f W exceeds the %.1f W cap", now, a.TotalPowerW(), c.cfg.PowerCapW)
+		}
+	}
+}
+
+// invCluster builds a half-fast half-efficiency fleet, thermally
+// enveloped when the config asks for it.
+func invCluster(nodes int, thermal bool) *platform.Cluster {
+	fast, slow := energy.DefaultProfile(), energy.EfficiencyProfile()
+	if thermal {
+		fast = energy.WithThermal(fast, energy.DefaultThermalFor(fast))
+		slow = energy.WithThermal(slow, energy.DefaultThermalFor(slow))
+	}
+	pc := platform.Marenostrum3()
+	pc.Nodes = nodes
+	pc.Classes = []platform.MachineClass{
+		{Count: nodes / 2, Power: fast},
+		{Count: nodes - nodes/2, Power: slow},
+	}
+	return platform.New(pc)
+}
+
+func runInvariantFuzz(t *testing.T, ic invConfig, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const nodes = 12
+	cl := invCluster(nodes, ic.thermal)
+	cfg := DefaultConfig()
+	cfg.Energy = energy.New(cl.K, cl.PowerProfiles())
+	cfg.ClassAware = ic.classaware
+	if ic.ladder {
+		cfg.SleepLadder = []SleepRung{
+			{AfterIdle: 40 * sim.Second, State: 0},
+			{AfterIdle: 160 * sim.Second, State: 1},
+		}
+	} else {
+		cfg.IdleSleep = 40 * sim.Second
+		cfg.SleepState = rng.Intn(2)
+	}
+	if ic.powercap {
+		// Between the all-idle floor and the all-P0 peak: tight enough to
+		// throttle, loose enough that every job is admissible.
+		cfg.PowerCapW = 1600 + rng.Float64()*600
+	}
+	c := NewController(cl, cfg)
+
+	classes := []string{"", energy.DefaultProfile().Class, energy.EfficiencyProfile().Class}
+	jobs := make([]*Job, 0, 30)
+	var arr sim.Time
+	for i := 0; i < 30; i++ {
+		width := 1 + rng.Intn(6)
+		d := sim.Time(20+rng.Intn(380)) * sim.Second
+		j := &Job{Name: fmt.Sprintf("fz%02d", i), ReqNodes: width, TimeLimit: 4 * d}
+		switch rng.Intn(4) {
+		case 0: // hard pin
+			j.ReqClass = classes[1+rng.Intn(2)]
+		case 1: // soft preference
+			j.PrefClass = classes[1+rng.Intn(2)]
+		}
+		if rng.Intn(3) == 0 && width > 1 { // moldable range
+			j.MinNodes = 1 + rng.Intn(width)
+			j.MaxNodes = width
+			if rng.Intn(2) == 0 {
+				j.PrefNodes = j.MinNodes + rng.Intn(width-j.MinNodes+1)
+			}
+		}
+		shrink := rng.Intn(4) == 0 && width%2 == 0 && width > 1
+		j.Launch = func(j *Job, _ []*platform.Node) {
+			cl.K.Spawn(j.Name, func(p *sim.Proc) {
+				if shrink {
+					p.Sleep(d / 2)
+					if n := j.NNodes(); n > 1 && n%2 == 0 {
+						c.ShrinkJob(j, n/2)
+					}
+					p.Sleep(d / 2)
+				} else {
+					p.Sleep(d)
+				}
+				c.JobComplete(j)
+			})
+		}
+		jobs = append(jobs, j)
+		arr += sim.Time(rng.ExpFloat64() * float64(30*sim.Second))
+		cl.K.At(arr, func() { c.Submit(j) })
+	}
+	// A drain/resume pair in the middle of the run stresses the
+	// interaction between maintenance, sleep timers and the free pool.
+	dn := rng.Intn(nodes)
+	cl.K.At(300*sim.Second, func() {
+		if err := c.DrainNode(dn); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	cl.K.At(700*sim.Second, func() {
+		if err := c.ResumeNode(dn); err != nil {
+			t.Errorf("resume: %v", err)
+		}
+	})
+
+	chk := newInvChecker(c, ic)
+	for cl.K.Step() {
+		chk.check(t)
+		if t.Failed() {
+			return
+		}
+	}
+
+	// Terminal invariants: everything completed, the attribution
+	// partitions the total, and every accounting column is non-negative.
+	if c.CompletedJobs() != len(jobs) {
+		t.Fatalf("completed %d of %d jobs", c.CompletedJobs(), len(jobs))
+	}
+	a := c.Energy()
+	if diff := a.AttributedJoules() + a.UnattributedJoules() - a.TotalJoules(); math.Abs(diff) > 1e-6 {
+		t.Fatalf("attribution leak: %.6f J", diff)
+	}
+	for _, r := range c.Accounting() {
+		for col, v := range map[string]float64{
+			"submit_s": r.SubmitSec, "start_s": r.StartSec, "end_s": r.EndSec,
+			"wait_s": r.WaitSec, "exec_s": r.ExecSec, "completion_s": r.CompletionSec,
+			"node_seconds": r.NodeSeconds, "energy_j": r.EnergyJ, "avg_power_w": r.AvgPowerW,
+			"throttled_s": r.ThrottledSec, "thermal_throttled_s": r.ThermalThrottledSec,
+			"min_class_speed": r.MinClassSpeed,
+		} {
+			if v < 0 {
+				t.Fatalf("job %d: accounting column %s is negative: %f", r.ID, col, v)
+			}
+		}
+	}
+}
+
+func TestInvariantFuzz(t *testing.T) {
+	for _, ic := range invConfigs {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", ic.name, seed), func(t *testing.T) {
+				runInvariantFuzz(t, ic, seed)
+			})
+		}
+	}
+}

@@ -72,6 +72,13 @@ type Job struct {
 	MinNodes int
 	MaxNodes int
 
+	// PrefNodes is the job's preferred start width for moldable
+	// submissions (0 = none). Under class-aware placement the scheduler
+	// refuses to mold a start below it (Controller.startFloor): starting
+	// on a sliver of the class is a trap at fleet scale, because a deep
+	// queue never leaves free nodes for the DMR policy to regrow the job.
+	PrefNodes int
+
 	// Machine-class demands (heterogeneous fleets). ReqClass is a hard
 	// constraint: the job only ever runs on nodes of that class (the
 	// Slurm --constraint analog). PrefClass is a soft affinity: the

@@ -89,6 +89,13 @@ func (v *QueueView) ClassAware() bool { return v.ctl.cfg.ClassAware }
 // allocated (its hard class constraint applied).
 func (v *QueueView) FreeNodesFor(t *Job) int { return v.ctl.freeFor(t) }
 
+// NeedNodes returns the width pending job t needs to start: ReqNodes
+// for rigid jobs, the moldable floor (including any class-aware
+// preferred-size floor) otherwise. Algorithm 1's wide optimization must
+// agree with the scheduler about what "can run" means, or a shrink
+// would release nodes for a start the scheduler then refuses.
+func (v *QueueView) NeedNodes(t *Job) int { return v.ctl.needNodes(t) }
+
 // ReleasedEligible returns how many of the nodes a shrink of the
 // requesting job to n would release (its allocation tail) are usable by
 // pending job t. A shrink that frees only wrong-class nodes cannot seat

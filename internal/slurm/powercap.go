@@ -170,22 +170,58 @@ func (c *Controller) capAdmit(j *Job, n int) bool {
 }
 
 // jobSpeed returns the slowest execution speed across a running job's
-// nodes at the job's current governor P-state — below 1 for throttled
+// nodes at each node's effective P-state (the deeper of the job's
+// governor state and the node's thermal floor) — below 1 for throttled
 // jobs and for efficiency-class machines even at P0, mirroring
 // Worker.SpeedFactor's stretch of the coupled step loop. Reservation
-// pricing divides time-limit estimates by it.
+// pricing divides time-limit estimates by it. The cache is keyed on the
+// governor state; thermal floor moves invalidate it through onThermal.
 func (c *Controller) jobSpeed(j *Job) float64 {
 	if j.speedFor == j.pstate+1 {
 		return j.speedVal
 	}
 	speed := 1.0
 	for _, n := range j.alloc {
-		if s := n.Power.SpeedAt(j.pstate); s < speed {
+		ps := j.pstate
+		if c.cfg.Energy != nil {
+			if f := c.cfg.Energy.ThermalFloor(n.Index); f > ps {
+				ps = f
+			}
+		}
+		if s := n.Power.SpeedAt(ps); s < speed {
 			speed = s
 		}
 	}
 	j.speedFor, j.speedVal = j.pstate+1, speed
 	return speed
+}
+
+// capEnforce sheds watts until the cluster is back under the cap,
+// stepping running jobs' nodes deeper youngest-first — the reactive
+// counterpart of capAdmit for draw that rises outside admission
+// control, i.e. a thermal restore lifting a node's P-state floor while
+// its job runs. Best effort: when every job already sits at its deepest
+// state the excess stands (the same residual the admission path accepts
+// for already-running work).
+func (c *Controller) capEnforce() {
+	if !c.capped() {
+		return
+	}
+	e := c.cfg.Energy
+	over := e.TotalPowerW() - c.cfg.PowerCapW
+	if over <= powerSlack {
+		return
+	}
+	for _, v := range c.throttleOrder() {
+		for over > powerSlack && c.throttleHeadroomW(v) > powerSlack {
+			before := e.TotalPowerW()
+			c.setJobPState(v, v.pstate+1)
+			over -= before - e.TotalPowerW()
+		}
+		if over <= powerSlack {
+			return
+		}
+	}
 }
 
 // capRestore steps throttled jobs back toward P0 while the cap allows,

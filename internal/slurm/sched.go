@@ -3,6 +3,7 @@ package slurm
 import (
 	"sort"
 
+	"repro/internal/platform"
 	"repro/internal/sim"
 )
 
@@ -78,9 +79,34 @@ func (c *Controller) eligible(j *Job) bool {
 	return false
 }
 
+// startFloor is the smallest width a moldable start may take: MinNodes,
+// lifted under class-aware placement to the job's preferred-size floor
+// (PrefNodes, clamped to MaxNodes). Molding below the floor is a trap
+// at fleet scale — a deep queue never leaves free nodes for Algorithm 1
+// to regrow the job, so whatever sliver it started on is what it keeps.
+func (c *Controller) startFloor(j *Job) int {
+	f := j.MinNodes
+	if c.cfg.ClassAware && j.PrefNodes > f {
+		f = j.PrefNodes
+		if j.MaxNodes > 0 && f > j.MaxNodes {
+			f = j.MaxNodes
+		}
+	}
+	return f
+}
+
+// needNodes is the width pending job j needs to start: ReqNodes for
+// rigid jobs, the moldable floor otherwise.
+func (c *Controller) needNodes(j *Job) int {
+	if j.MinNodes < j.MaxNodes {
+		return c.startFloor(j)
+	}
+	return j.ReqNodes
+}
+
 // startSize decides how many nodes to start j with. Rigid jobs use
 // ReqNodes. Moldable jobs (the future-work extension) take as many nodes
-// as available within [MinNodes, MaxNodes].
+// as available within [startFloor, MaxNodes].
 func (c *Controller) startSize(j *Job, free int) (int, bool) {
 	if j.MinNodes == j.MaxNodes || j.Resizer {
 		if j.ReqNodes <= free {
@@ -88,7 +114,7 @@ func (c *Controller) startSize(j *Job, free int) (int, bool) {
 		}
 		return 0, false
 	}
-	if j.MinNodes > free {
+	if c.startFloor(j) > free {
 		return 0, false
 	}
 	n := j.MaxNodes
@@ -133,9 +159,9 @@ func (c *Controller) schedulePass() {
 			n = c.classClampSize(j, n)
 			if !c.capAdmit(j, n) {
 				// A moldable job can trade nodes for watts: shrink the
-				// start size toward MinNodes until the cap admits it.
+				// start size toward its floor until the cap admits it.
 				admitted := false
-				for m := n - 1; m >= j.MinNodes && j.MinNodes < j.MaxNodes; m-- {
+				for m := n - 1; m >= c.startFloor(j) && j.MinNodes < j.MaxNodes; m-- {
 					if c.capAdmit(j, m) {
 						n, admitted = m, true
 						break
@@ -186,10 +212,7 @@ func (c *Controller) schedulePass() {
 			if j == blocked || j.State != StatePending || !c.eligible(j) {
 				continue
 			}
-			need := j.ReqNodes
-			if j.MinNodes < j.MaxNodes {
-				need = j.MinNodes
-			}
+			need := c.needNodes(j)
 			if need > c.freeFor(j) {
 				continue
 			}
@@ -212,22 +235,22 @@ func (c *Controller) schedulePass() {
 					// slower nodes; re-check with what it would receive.
 					fitsBefore = c.backfillEnd(j, n) <= shadow
 				}
-				for !fitsBefore && n >= j.MinNodes && eligTake(j, n) > extra {
+				for !fitsBefore && n >= need && eligTake(j, n) > extra {
 					n--
 				}
-				if n < j.MinNodes {
+				if n < need {
 					continue
 				}
 			}
 			// Backfill never throttles higher-priority running work to
 			// squeeze an opportunistic job under the power cap, but a
-			// moldable candidate may shrink toward MinNodes to fit the
+			// moldable candidate may shrink toward its floor to fit the
 			// watt budget (fewer nodes only shorten wake/speed bounds,
 			// so fitsBefore and the extra cap still hold).
-			for n >= j.MinNodes && !c.capFits(j, n) {
+			for n >= need && !c.capFits(j, n) {
 				n--
 			}
-			if n < j.MinNodes {
+			if n < need {
 				continue
 			}
 			c.startJob(j, n)
@@ -252,20 +275,24 @@ func (c *Controller) schedulePass() {
 // would receive. Under ClassAware, taking more nodes is only worth it
 // while the added parallelism outweighs dragging the coupled step loop
 // down to a slower class — the job runs at the pace of its slowest
-// node. Returns the width in [MinNodes, n] with the highest effective
-// throughput (width × slowest-class P0 speed), ties to the widest.
+// node. Returns the width in [startFloor, n] with the highest effective
+// throughput (width × slowest-class P0 speed), ties to the widest. The
+// floor honors the job's preferred size (PrefNodes): FS-style apps that
+// declare no Table I preference would otherwise be molded down to
+// MinProcs=1 and stay there forever under a deep queue.
 func (c *Controller) classClampSize(j *Job, n int) int {
-	if !c.cfg.ClassAware || j.MinNodes >= j.MaxNodes || n <= j.MinNodes {
+	floor := c.startFloor(j)
+	if !c.cfg.ClassAware || j.MinNodes >= j.MaxNodes || n <= floor {
 		return n
 	}
 	pick := c.pickNodes(j, n)
 	best, bestEff := n, 0.0
 	slowest := 1.0
 	for m := 1; m <= n; m++ {
-		if s := pick[m-1].Speed(); s < slowest {
+		if s := c.nodeStartSpeed(pick[m-1]); s < slowest {
 			slowest = s
 		}
-		if m < j.MinNodes {
+		if m < floor {
 			continue
 		}
 		if eff := float64(m) * slowest; eff >= bestEff {
@@ -275,11 +302,25 @@ func (c *Controller) classClampSize(j *Job, n int) int {
 	return best
 }
 
+// nodeStartSpeed is the speed a fresh allocation of nd would actually
+// run at: the class P0 speed, lowered by any thermal P-state floor the
+// node still carries from its previous occupant (the envelope belongs
+// to the machine, and a hot node allocates at its floor). Identical to
+// nd.Speed() without an energy accountant or thermal envelope.
+func (c *Controller) nodeStartSpeed(nd *platform.Node) float64 {
+	ps := 0
+	if c.cfg.Energy != nil {
+		ps = c.cfg.Energy.ThermalFloor(nd.Index)
+	}
+	return nd.Power.SpeedAt(ps)
+}
+
 // backfillEnd bounds when a backfill start of j on n free nodes would
 // end: the launch waits for the worst-case wake latency of the nodes it
 // would receive (pickNodes order), and the time limit stretches by the
-// slowest machine-class P0 speed among them — the coupled step loop
-// really runs that much slower there.
+// slowest effective speed among them (machine class and any persistent
+// thermal floor) — the coupled step loop really runs that much slower
+// there.
 func (c *Controller) backfillEnd(j *Job, n int) sim.Time {
 	var wake sim.Time
 	speed := 1.0
@@ -289,7 +330,7 @@ func (c *Controller) backfillEnd(j *Job, n int) sim.Time {
 				wake = w
 			}
 		}
-		if s := nd.Speed(); s < speed {
+		if s := c.nodeStartSpeed(nd); s < speed {
 			speed = s
 		}
 	}
@@ -363,10 +404,7 @@ func (c *Controller) repositionEndOrder(j *Job) {
 // holder, so pricing its release would place the shadow time too early.
 func (c *Controller) reservation(blocked *Job) (sim.Time, int) {
 	avail := c.freeFor(blocked)
-	need := blocked.ReqNodes
-	if blocked.MinNodes < blocked.MaxNodes {
-		need = blocked.MinNodes
-	}
+	need := c.needNodes(blocked)
 	if avail >= need {
 		return c.k.Now(), avail - need
 	}

@@ -130,14 +130,6 @@ func minProcsRun(cur, factor, min int, fits func(n int) bool) (int, bool) {
 	return cur, false
 }
 
-// need returns the nodes a pending job requires to start.
-func need(j *slurm.Job) int {
-	if j.MinNodes < j.MaxNodes {
-		return j.MinNodes
-	}
-	return j.ReqNodes
-}
-
 // Decide runs Algorithm 1 for one dmr_check_status request, then — with
 // ClassAware set — prices any expand verdict by the classes involved.
 func (p *Policy) Decide(v *slurm.QueueView, req slurm.ResizeRequest) slurm.Decision {
@@ -321,7 +313,7 @@ func (p *Policy) decide(v *slurm.QueueView, req slurm.ResizeRequest) slurm.Decis
 				if t.ID == job.ID {
 					continue
 				}
-				tn := need(t)
+				tn := v.NeedNodes(t)
 				tFree := v.FreeNodesFor(t)
 				if tn <= tFree {
 					continue // it can already run; the scheduler will start it
