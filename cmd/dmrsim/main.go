@@ -7,12 +7,24 @@
 //	       [-period s] [-seed N] [-trace] [-events]
 //	       [-energy] [-sleep s] [-energypolicy] [-powercap W]
 //	       [-fastnodes N] [-classaware] [-thermal] [-ladder]
+//	       [-tracefile f.json] [-metricsfile f.prom] [-pprof f] [-rtrace f]
+//
+// Observability: -tracefile writes a Chrome trace-event JSON of the run
+// (job lifecycle, node occupancy and power states, scheduler passes and
+// DMR decisions on the simulated clock — load it in Perfetto or
+// chrome://tracing); -metricsfile snapshots the telemetry registry in
+// Prometheus text format (or CSV when the path ends in .csv). Both are
+// deterministic: same flags and seed, same bytes. -pprof and -rtrace
+// capture host-side CPU profile / runtime trace of the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -20,8 +32,24 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/slurm"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// fatal prints an error and exits.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmrsim:", err)
+	os.Exit(1)
+}
+
+// create opens path for writing, fatally on error.
+func create(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
 
 func main() {
 	jobs := flag.Int("jobs", 50, "number of jobs")
@@ -44,7 +72,28 @@ func main() {
 	classAware := flag.Bool("classaware", false, "machine-class-aware placement and resize pricing (use with -fastnodes)")
 	thermal := flag.Bool("thermal", false, "thermal envelopes: sustained load forces DVFS throttling (implies -energy)")
 	ladder := flag.Bool("ladder", false, "idle S-state ladder: 9 W suspend after 120 s idle, 4 W deep state after 600 s (implies -energy)")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON of the run (Perfetto-loadable)")
+	metricsFile := flag.String("metricsfile", "", "write a telemetry registry snapshot (Prometheus text, or CSV when the path ends in .csv)")
+	pprofFile := flag.String("pprof", "", "write a host CPU profile of the simulator run (go tool pprof)")
+	rtraceFile := flag.String("rtrace", "", "write a host runtime/trace of the simulator run (go tool trace)")
 	flag.Parse()
+
+	if *pprofFile != "" {
+		f := create(*pprofFile)
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *rtraceFile != "" {
+		f := create(*rtraceFile)
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fatal(err)
+		}
+		defer rtrace.Stop()
+	}
 
 	var params workload.Params
 	cfg := core.DefaultConfig()
@@ -109,6 +158,9 @@ func main() {
 		params.ClassMix = mix
 	}
 	cfg.ClassAware = *classAware
+	if *traceFile != "" || *metricsFile != "" {
+		cfg.Telemetry = telemetry.New()
+	}
 
 	specs := workload.Generate(params)
 	specs = workload.SetFlexible(specs, !*fixed)
@@ -205,8 +257,29 @@ func main() {
 	}
 	if *acct {
 		if err := sys.Ctl.WriteAccountingCSV(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "dmrsim:", err)
-			os.Exit(1)
+			fatal(err)
+		}
+	}
+	if *traceFile != "" {
+		f := create(*traceFile)
+		if err := cfg.Telemetry.Trace.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsFile != "" {
+		f := create(*metricsFile)
+		write := cfg.Telemetry.Reg.WriteProm
+		if strings.HasSuffix(*metricsFile, ".csv") {
+			write = cfg.Telemetry.Reg.WriteCSV
+		}
+		if err := write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
 		}
 	}
 }

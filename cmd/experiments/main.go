@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet|scale|thermal] [-quick] [-seed N]
+//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet|scale|thermal|telemetry] [-quick] [-seed N]
 //
 // The energy experiment compares total cluster energy for rigid,
 // malleable (Algorithm 1) and energy-aware-policy runs of the same
@@ -27,6 +27,12 @@
 // machines), and a sparse-load sweep of sleep configurations showing
 // the deep rungs of the S-state ladder beating the single shallow
 // S-state baseline on energy.
+//
+// The telemetry experiment runs the realistic flexible workload with
+// the deterministic telemetry sink attached and prints the scheduler's
+// headline counters (passes, backfill activity, placement-cache hits,
+// DMR decisions, sleeps/wakes); with -csv it also writes the Chrome
+// trace JSON and registry snapshots (Prometheus text + CSV).
 //
 // The scale experiment measures the simulator itself: 256–2048-node
 // mixed fleets running 1k–10k-job streams under the three regimes,
@@ -157,6 +163,16 @@ func main() {
 		fmt.Print(experiments.FormatScale(rows))
 		fmt.Println()
 		writeScaleOutputs(rows)
+	})
+	run("telemetry", func() {
+		jobs := 50
+		if *quick {
+			jobs = 20
+		}
+		r := experiments.Telemetry(jobs, *seed)
+		fmt.Print(experiments.FormatTelemetry(r))
+		fmt.Println()
+		writeTelemetryOutputs(r)
 	})
 	run("ablations", func() {
 		fmt.Print(experiments.FormatAblation("Ablation: moldable submissions (paper §X future work)", experiments.Moldable(ablJobs, *seed)))
@@ -460,6 +476,24 @@ func writeThermalOutputs(row experiments.ThermalRow, ladders []experiments.Ladde
 				end, th.ThrottleC, th.RestoreC, trace)
 		})
 	}
+}
+
+// writeTelemetryOutputs dumps the instrumented run's artifacts when
+// -csv is set: the Chrome trace JSON (Perfetto-loadable) and the
+// metrics registry in both Prometheus text and CSV form.
+func writeTelemetryOutputs(r *experiments.TelemetryRun) {
+	if *csvDir == "" {
+		return
+	}
+	writeFile(filepath.Join(*csvDir, "telemetry_trace.json"), func(f *os.File) error {
+		return r.Sink.Trace.WriteJSON(f)
+	})
+	writeFile(filepath.Join(*csvDir, "telemetry_metrics.prom"), func(f *os.File) error {
+		return r.Sink.Reg.WriteProm(f)
+	})
+	writeFile(filepath.Join(*csvDir, "telemetry_metrics.csv"), func(f *os.File) error {
+		return r.Sink.Reg.WriteCSV(f)
+	})
 }
 
 // writeScaleOutputs dumps the scale study's summary CSV when requested:

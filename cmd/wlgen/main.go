@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	wlgen [-jobs N] [-realistic] [-flex ratio] [-seed N]
+//	wlgen [-jobs N] [-realistic] [-flex ratio] [-seed N] [-stats f.csv]
+//
+// -stats additionally writes shape metrics of the generated workload
+// (node-count and runtime histograms, arrival span, flexible share) as
+// a telemetry registry CSV snapshot — a quick way to sanity-check a
+// seed before spending a simulation on it.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -30,6 +36,7 @@ func main() {
 	realistic := flag.Bool("realistic", false, "CG/Jacobi/N-body mix instead of FS")
 	flexRatio := flag.Float64("flex", 1.0, "fraction of flexible jobs")
 	seed := flag.Int64("seed", 1, "generator seed")
+	statsFile := flag.String("stats", "", "write workload shape metrics (registry CSV) to this file")
 	flag.Parse()
 
 	var params workload.Params
@@ -58,4 +65,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wlgen:", err)
 		os.Exit(1)
 	}
+
+	if *statsFile != "" {
+		if err := writeStats(*statsFile, specs); err != nil {
+			fmt.Fprintln(os.Stderr, "wlgen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeStats snapshots the workload's shape into a telemetry registry
+// and dumps it as CSV: job/flexible counts, per-class counts, node and
+// runtime histograms, and the arrival span.
+func writeStats(path string, specs []workload.Spec) error {
+	reg := telemetry.NewRegistry()
+	nodesH := reg.Histogram("wl_job_nodes", []float64{1, 2, 4, 8, 16, 32, 64})
+	runtimeH := reg.Histogram("wl_job_runtime_seconds", []float64{60, 300, 600, 1800, 3600, 7200})
+	flexible := reg.Counter("wl_flexible_jobs_total")
+	span := reg.Gauge("wl_arrival_span_seconds")
+	reg.Gauge("wl_jobs").Set(float64(len(specs)))
+	for _, s := range specs {
+		nodesH.Observe(float64(s.Nodes))
+		runtimeH.Observe(s.Runtime.Seconds())
+		if s.Flexible {
+			flexible.Inc()
+		}
+		reg.Counter("wl_class_" + s.Class.String() + "_total").Inc()
+		span.Set(s.Arrival.Seconds())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

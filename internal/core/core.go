@@ -16,6 +16,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/slurm"
 	"repro/internal/slurm/selectdmr"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -96,6 +97,15 @@ type Config struct {
 	// Per-job hard/soft class demands (workload ClassMix) are honored
 	// even without this switch.
 	ClassAware bool
+	// Telemetry, when non-nil, wires the deterministic telemetry sink
+	// through the controller and accountant: sim-time trace spans,
+	// the metrics registry, and wall-clock profiling. Nil disables every
+	// hook (the default; the hot paths stay allocation-free).
+	Telemetry *telemetry.Sink
+	// EventLogCap bounds the controller's retained event log (0 keeps
+	// everything). Million-event runs set it to hold memory flat;
+	// SubscribeEvents still streams the complete sequence.
+	EventLogCap int
 }
 
 // DefaultConfig returns the standard experiment setup.
@@ -153,6 +163,8 @@ func NewSystem(cfg Config) *System {
 	cl := platform.New(pc)
 	scfg := slurm.DefaultConfig()
 	scfg.ClassAware = cfg.ClassAware
+	scfg.Telemetry = cfg.Telemetry
+	scfg.EventLogCap = cfg.EventLogCap
 	if cfg.Policy {
 		switch {
 		case cfg.EnergyPolicy && cfg.ClassAware:
@@ -177,6 +189,12 @@ func NewSystem(cfg Config) *System {
 		rec.AttachPower(acct) // before NewController: it may arm sleeps
 		if acct.ThermalEnabled() {
 			rec.AttachThermal(acct)
+		}
+		if cfg.Telemetry != nil && cfg.Telemetry.Reg != nil {
+			// Fan-out lets the telemetry gauge ride alongside the
+			// recorder's power trace — the overwrite bug this replaced.
+			power := cfg.Telemetry.Reg.Gauge("cluster_power_w")
+			acct.SubscribePowerSamples(func(_ sim.Time, w float64) { power.Set(w) })
 		}
 		scfg.Energy = acct
 		scfg.IdleSleep = cfg.IdleSleep
@@ -323,6 +341,14 @@ func (s *System) Run() *metrics.WorkloadResult {
 	s.Cluster.K.Run()
 	if live := s.Cluster.K.LiveProcs(); len(live) != 0 {
 		panic(fmt.Sprintf("core: deadlocked processes after drain: %v", live))
+	}
+	if s.Cfg.Telemetry != nil {
+		// Settle the last coalesced power sample into the power gauge,
+		// then close every open trace span at the drained clock.
+		if s.Energy != nil {
+			s.Energy.FlushSamples()
+		}
+		s.Ctl.FlushTelemetry()
 	}
 	res := metrics.Collect(s.jobs, &s.Recorder.Trace)
 	if s.Energy != nil {

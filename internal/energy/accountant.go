@@ -90,22 +90,34 @@ type Accountant struct {
 	sampleT     sim.Time
 	sampleW     float64
 
-	// OnPowerSample, when set, observes the total draw after every
-	// power-state transition, coalesced per timestamp: a burst of
-	// transitions at one instant (a multi-node allocation, a governor
-	// throttle sweep) yields one sample at the settled draw instead of
-	// one per node (metrics power trace).
-	OnPowerSample func(t sim.Time, totalW float64)
+	// powerSubs observe the total draw after every power-state
+	// transition, coalesced per timestamp: a burst of transitions at one
+	// instant (a multi-node allocation, a governor throttle sweep) yields
+	// one sample at the settled draw instead of one per node (metrics
+	// power trace, telemetry power gauge).
+	powerSubs []func(t sim.Time, totalW float64)
 
 	// OnThermal, when set, observes every thermal DVFS step: node index,
 	// whether the floor deepened (throttle) or cleared (restore), and
 	// the new floor. The controller logs it and re-prices the owning job.
 	OnThermal func(node int, throttled bool, floor int)
 
-	// OnThermalSample, when set, observes (hottest node °C, count of
-	// nodes under a binding thermal floor) after every thermal step
-	// (metrics temperature trace).
-	OnThermalSample func(t sim.Time, maxC float64, throttled int)
+	// thermalSubs observe (hottest node °C, count of nodes under a
+	// binding thermal floor) after every thermal step (metrics
+	// temperature trace).
+	thermalSubs []func(t sim.Time, maxC float64, throttled int)
+}
+
+// SubscribePowerSamples registers fn to observe every coalesced power
+// sample. Subscribers are invoked in registration order; registering
+// never displaces an earlier subscriber.
+func (a *Accountant) SubscribePowerSamples(fn func(t sim.Time, totalW float64)) {
+	a.powerSubs = append(a.powerSubs, fn)
+}
+
+// SubscribeThermalSamples registers fn to observe every thermal sample.
+func (a *Accountant) SubscribeThermalSamples(fn func(t sim.Time, maxC float64, throttled int)) {
+	a.thermalSubs = append(a.thermalSubs, fn)
 }
 
 // New builds an accountant for len(profiles) nodes, all starting idle at
@@ -166,22 +178,29 @@ func (a *Accountant) setDraw(i int, w float64) {
 	m := &a.nodes[i]
 	a.totalW += w - m.powerW
 	m.powerW = w
-	if a.OnPowerSample == nil {
+	if len(a.powerSubs) == 0 {
 		return
 	}
 	now := a.k.Now()
 	if a.sampleArmed && a.sampleT != now {
-		a.OnPowerSample(a.sampleT, a.sampleW)
+		a.publishPower(a.sampleT, a.sampleW)
 	}
 	a.sampleArmed, a.sampleT, a.sampleW = true, now, a.totalW
+}
+
+// publishPower fans one settled power sample out to every subscriber.
+func (a *Accountant) publishPower(t sim.Time, w float64) {
+	for _, fn := range a.powerSubs {
+		fn(t, w)
+	}
 }
 
 // FlushSamples publishes the pending coalesced power sample, if any. Call
 // it after the simulation drains (no further transition can land at the
 // final timestamp) so the trace includes the last settled draw.
 func (a *Accountant) FlushSamples() {
-	if a.sampleArmed && a.OnPowerSample != nil {
-		a.OnPowerSample(a.sampleT, a.sampleW)
+	if a.sampleArmed {
+		a.publishPower(a.sampleT, a.sampleW)
 	}
 	a.sampleArmed = false
 }
@@ -504,7 +523,7 @@ func (a *Accountant) thermalRestore(i int) {
 // count of binding floors) to the metrics hook. Read-only: temperatures
 // are projected to now without settling the meters.
 func (a *Accountant) thermalSample() {
-	if a.OnThermalSample == nil {
+	if len(a.thermalSubs) == 0 {
 		return
 	}
 	now := a.k.Now()
@@ -521,7 +540,9 @@ func (a *Accountant) thermalSample() {
 			throttled++
 		}
 	}
-	a.OnThermalSample(now, maxC, throttled)
+	for _, fn := range a.thermalSubs {
+		fn(now, maxC, throttled)
+	}
 }
 
 // ThermalEnabled reports whether any metered profile carries a thermal

@@ -231,10 +231,10 @@ func TestPowerSampleHook(t *testing.T) {
 	a := New(k, Uniform(p, 2))
 	var samples []float64
 	var times []sim.Time
-	a.OnPowerSample = func(t sim.Time, w float64) {
+	a.SubscribePowerSamples(func(t sim.Time, w float64) {
 		times = append(times, t)
 		samples = append(samples, w)
-	}
+	})
 	a.NodeActive(0, 1, 0)
 	k.At(10*sim.Second, func() { a.NodeIdle(0) })
 	k.At(20*sim.Second, func() { a.NodeSleep(0, 0); a.NodeSleep(1, 0) })

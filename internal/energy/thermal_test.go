@@ -283,12 +283,12 @@ func TestThermalSampleHook(t *testing.T) {
 		maxC      float64
 		throttled int
 	}
-	a.OnThermalSample = func(_ sim.Time, maxC float64, throttled int) {
+	a.SubscribeThermalSamples(func(_ sim.Time, maxC float64, throttled int) {
 		samples = append(samples, struct {
 			maxC      float64
 			throttled int
 		}{maxC, throttled})
-	}
+	})
 	a.NodeActive(0, 1, 0) // node 1 stays idle
 	k.RunUntil(600 * sim.Second)
 	if len(samples) != 1 {

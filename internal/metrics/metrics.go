@@ -38,12 +38,14 @@ type Recorder struct {
 	TempTrace  *TempTrace
 }
 
-// Attach registers the recorder on the controller.
+// Attach registers the recorder on the controller. Subscription-based:
+// attaching never displaces other sample observers (the telemetry sink,
+// another recorder).
 func (r *Recorder) Attach(c *slurm.Controller) {
 	r.Trace.TotalNodes = c.TotalNodes()
-	c.OnSample = func(t sim.Time, alloc, running, completed, pending int) {
+	c.SubscribeSamples(func(t sim.Time, alloc, running, completed, pending int) {
 		r.Trace.Samples = append(r.Trace.Samples, Sample{T: t, Alloc: alloc, Running: running, Completed: completed, Pending: pending})
-	}
+	})
 }
 
 // NodeSecondsAllocated integrates allocated nodes over [0, end].

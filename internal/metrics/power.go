@@ -27,9 +27,9 @@ type PowerTrace struct {
 func (r *Recorder) AttachPower(a *energy.Accountant) {
 	r.PowerTrace = &PowerTrace{}
 	r.PowerTrace.Samples = append(r.PowerTrace.Samples, PowerSample{T: 0, PowerW: a.TotalPowerW()})
-	a.OnPowerSample = func(t sim.Time, w float64) {
+	a.SubscribePowerSamples(func(t sim.Time, w float64) {
 		r.PowerTrace.Samples = append(r.PowerTrace.Samples, PowerSample{T: t, PowerW: w})
-	}
+	})
 }
 
 // EnergyJoules integrates the draw over [0, end].

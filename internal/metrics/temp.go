@@ -45,9 +45,9 @@ func (tr *TempTrace) PeakC(end sim.Time) float64 {
 // recorder. Requires a thermal envelope on at least one node profile.
 func (r *Recorder) AttachThermal(a *energy.Accountant) {
 	r.TempTrace = &TempTrace{}
-	a.OnThermalSample = func(t sim.Time, maxC float64, throttled int) {
+	a.SubscribeThermalSamples(func(t sim.Time, maxC float64, throttled int) {
 		r.TempTrace.Samples = append(r.TempTrace.Samples, TempSample{T: t, MaxC: maxC, Throttled: throttled})
-	}
+	})
 }
 
 // WriteTempCSV dumps the thermal trace as CSV rows of (t_s, max_temp_c,

@@ -35,5 +35,10 @@ func Milliseconds(ms float64) Time { return Time(ms * float64(Millisecond)) }
 // Seconds reports t as a floating-point number of seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// Microseconds reports t as an integer count of microseconds — the
+// native resolution of Time, and the timestamp unit of the Chrome
+// trace-event format the telemetry tracer exports.
+func (t Time) Microseconds() int64 { return int64(t) }
+
 // String formats the time as seconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the controller.
@@ -61,6 +62,16 @@ type Config struct {
 	// constraints and soft PrefClass affinities on jobs are honored
 	// regardless of this switch.
 	ClassAware bool
+	// Telemetry, when non-nil, attaches the deterministic telemetry sink:
+	// sim-time trace spans, the metrics registry, and the wall-clock
+	// profiling registry. Nil (the default) compiles every hook down to
+	// one pointer check.
+	Telemetry *telemetry.Sink
+	// EventLogCap bounds the retained Events slice: when positive, only
+	// (at least) the last EventLogCap events are kept. Subscribers
+	// registered with SubscribeEvents still observe every event, and
+	// TotalEvents counts them all. 0 retains everything.
+	EventLogCap int
 }
 
 // DefaultConfig mirrors the paper's Slurm setup: backfill scheduling with
@@ -122,11 +133,20 @@ type Controller struct {
 	// collect-and-sort over every running job into an ordered walk.
 	endOrder []jobRelease
 
-	// Events is the append-only trace of everything the controller did.
+	// Events is the retained trace of everything the controller did.
+	// Append-only unless Config.EventLogCap bounds retention; subscribers
+	// see every event regardless.
 	Events []Event
-	// OnSample, when set, observes every allocation change (metrics).
-	OnSample func(t sim.Time, allocatedNodes, runningJobs, completedJobs, pendingJobs int)
+
+	eventsTotal uint64
+	eventSubs   []func(Event)
+	sampleSubs  []SampleFunc
+
+	tel *telState // telemetry hooks; nil unless Config.Telemetry is set
 }
+
+// SampleFunc observes one allocation snapshot.
+type SampleFunc func(t sim.Time, allocatedNodes, runningJobs, completedJobs, pendingJobs int)
 
 // SleepRung is one step of the idle S-state ladder: a node that has
 // been idle for AfterIdle drops to S-state State.
@@ -207,6 +227,9 @@ func NewController(c *platform.Cluster, cfg Config) *Controller {
 		}
 		cfg.Energy.OnThermal = ctl.onThermal
 	}
+	if cfg.Telemetry != nil {
+		ctl.tel = newTelState(ctl, cfg.Telemetry)
+	}
 	// Nodes start idle; with sleep enabled they doze off unless a job
 	// claims them within the idle timeout.
 	for _, n := range c.Nodes {
@@ -218,14 +241,50 @@ func NewController(c *platform.Cluster, cfg Config) *Controller {
 // Energy returns the attached accountant (nil when accounting is off).
 func (c *Controller) Energy() *energy.Accountant { return c.cfg.Energy }
 
+// SubscribeSamples registers fn to observe every allocation snapshot.
+// Subscribers are invoked in registration order; registering never
+// displaces an earlier subscriber.
+func (c *Controller) SubscribeSamples(fn SampleFunc) { c.sampleSubs = append(c.sampleSubs, fn) }
+
+// SubscribeEvents registers fn to observe every controller event as it
+// is emitted — a streaming alternative to reading Events after the run,
+// and the only complete record when Config.EventLogCap trims retention.
+func (c *Controller) SubscribeEvents(fn func(Event)) { c.eventSubs = append(c.eventSubs, fn) }
+
+// TotalEvents counts every event ever emitted, including any trimmed
+// out of Events by Config.EventLogCap.
+func (c *Controller) TotalEvents() uint64 { return c.eventsTotal }
+
+// emit fans one event out to subscribers and appends it to the retained
+// log. With a cap configured, the slice is trimmed back to the last
+// EventLogCap entries whenever it doubles — amortized O(1) per event.
+func (c *Controller) emit(ev Event) {
+	c.eventsTotal++
+	if c.tel != nil {
+		c.tel.eventsEmitted.Inc()
+	}
+	for _, fn := range c.eventSubs {
+		fn(ev)
+	}
+	c.Events = append(c.Events, ev)
+	if limit := c.cfg.EventLogCap; limit > 0 && len(c.Events) > 2*limit {
+		c.Events = append(c.Events[:0], c.Events[len(c.Events)-limit:]...)
+	}
+}
+
 // ReconfigRPC serves one decision round trip for process p: queue for
 // the controller's single decision slot, pay the service time, decide.
 // This is the server side of dmr_check_status.
 func (c *Controller) ReconfigRPC(p *sim.Proc, j *Job, req ResizeRequest) Decision {
+	start := c.k.Now()
 	c.rpcSlot.Acquire(p)
 	p.Sleep(c.cfg.RPCService)
 	dec := c.Reconfig(j, req)
 	c.rpcSlot.Release()
+	if c.tel != nil {
+		c.tel.sink.Trace.Span(tracePidSched, traceTidDMR, "dmr",
+			fmt.Sprintf("j%d %s", j.ID, dec.Action), start, c.k.Now())
+	}
 	return dec
 }
 
@@ -292,6 +351,9 @@ func (c *Controller) Submit(j *Job) *Job {
 	c.jobs[j.ID] = j
 	c.insertPending(j)
 	c.log(EvSubmit, j, fmt.Sprintf("req=%d", j.ReqNodes))
+	if c.tel != nil {
+		c.telSubmit(j)
+	}
 	c.kick()
 	return j
 }
@@ -307,6 +369,9 @@ func (c *Controller) Cancel(j *Job) error {
 	j.State = StateCancelled
 	j.EndTime = c.k.Now()
 	c.log(EvCancel, j, "")
+	if c.tel != nil && !j.Resizer {
+		c.tel.jobSpan(c.k.Now(), j.ID, "")
+	}
 	if j.OnEnd != nil {
 		j.OnEnd(j)
 	}
@@ -337,6 +402,9 @@ func (c *Controller) JobComplete(j *Job) {
 	j.EndTime = c.k.Now()
 	c.completed++
 	c.log(EvEnd, j, "")
+	if c.tel != nil {
+		c.telComplete(j)
+	}
 	if j.OnEnd != nil {
 		j.OnEnd(j)
 	}
@@ -463,8 +531,14 @@ func (c *Controller) pickNodes(j *Job, n int) []*platform.Node {
 	}
 	for i, cached := range e.ns {
 		if cached == n {
+			if c.tel != nil {
+				c.tel.pickHits.Inc()
+			}
 			return e.sets[i]
 		}
+	}
+	if c.tel != nil {
+		c.tel.pickMisses.Inc()
 	}
 	nodes := c.pickNodesUncached(j, n, sig)
 	e.ns = append(e.ns, n)
@@ -559,6 +633,13 @@ func (c *Controller) allocateNodes(j *Job, n int) []*platform.Node {
 		c.pool.remove(nd.Index)
 		c.owner[nd.Index] = j.ID
 	}
+	if c.tel != nil {
+		now := c.k.Now()
+		label := jobNodeLabel(j)
+		for _, nd := range nodes {
+			c.tel.nodeSpan(now, nd.Index, label)
+		}
+	}
 	return nodes
 }
 
@@ -566,6 +647,12 @@ func (c *Controller) allocateNodes(j *Job, n int) []*platform.Node {
 // allocated complete their drain here. The freed draw is headroom under
 // a power cap: throttled jobs step back first.
 func (c *Controller) releaseNodes(nodes []*platform.Node) {
+	if c.tel != nil {
+		now := c.k.Now()
+		for _, nd := range nodes {
+			c.tel.nodeSpan(now, nd.Index, "")
+		}
+	}
 	c.powerRelease(nodes)
 	c.pool.bump() // the releasing job's allocation changed even if every node drains
 	for _, nd := range nodes {
@@ -599,6 +686,9 @@ func (c *Controller) powerAllocate(j *Job, nodes []*platform.Node, ps int) sim.T
 		c.sleepGen[n.Index]++ // cancel any armed sleep timer
 		if w := c.cfg.Energy.NodeActive(n.Index, chargeTo, ps); w > 0 {
 			c.logNode(EvWake, n, chargeTo)
+			if c.tel != nil {
+				c.tel.wakes.Inc()
+			}
 			if w > wake {
 				wake = w
 			}
@@ -658,6 +748,9 @@ func (c *Controller) armRung(n *platform.Node, gen, rung int) {
 			// node to its class's sleeping half.
 			c.pool.markAsleep(n.Index)
 			c.logNode(EvSleep, n, 0)
+			if c.tel != nil {
+				c.telSleep(n, a.SStateOf(n.Index))
+			}
 			if c.capped() {
 				// The idle draw just dropped: headroom for throttled
 				// jobs, and possibly enough watts to admit a cap-blocked
@@ -688,7 +781,10 @@ func (c *Controller) onThermal(node int, throttled bool, floor int) {
 	if owner > 0 {
 		ev.JobID = owner
 	}
-	c.Events = append(c.Events, ev)
+	c.emit(ev)
+	if c.tel != nil {
+		c.telThermal(node, owner, throttled, floor)
+	}
 	if owner > 0 {
 		if j := c.running[owner]; j != nil {
 			j.invalidateSpeed()
@@ -755,6 +851,9 @@ func (c *Controller) startJob(j *Job, n int) {
 		j.throttledAt = j.StartTime
 		c.log(EvThrottle, j, fmt.Sprintf("p%d (cap admission)", j.pstate))
 	}
+	if c.tel != nil {
+		c.telStart(j)
+	}
 	c.sample()
 	if j.Resizer {
 		// Resizer starts fire synchronously: the expand dance's abort
@@ -792,16 +891,25 @@ func (c *Controller) kick() {
 	})
 }
 
-// sample pushes an allocation snapshot to the metrics hook.
+// sample pushes an allocation snapshot to every subscriber and the
+// telemetry sink.
 func (c *Controller) sample() {
-	if c.OnSample != nil {
-		c.OnSample(c.k.Now(), c.AllocatedNodes(), len(c.running), c.completed, len(c.pending))
+	if len(c.sampleSubs) == 0 && c.tel == nil {
+		return
+	}
+	t := c.k.Now()
+	alloc := c.AllocatedNodes()
+	for _, fn := range c.sampleSubs {
+		fn(t, alloc, len(c.running), c.completed, len(c.pending))
+	}
+	if c.tel != nil {
+		c.telSample(t, alloc)
 	}
 }
 
-// logNode appends a node power-state event (sleep/wake).
+// logNode emits a node power-state event (sleep/wake).
 func (c *Controller) logNode(kind EventKind, n *platform.Node, jobID int) {
-	c.Events = append(c.Events, Event{
+	c.emit(Event{
 		T:     c.k.Now(),
 		Kind:  kind,
 		JobID: jobID,
@@ -810,9 +918,9 @@ func (c *Controller) logNode(kind EventKind, n *platform.Node, jobID int) {
 	})
 }
 
-// log appends a controller event.
+// log emits a controller event.
 func (c *Controller) log(kind EventKind, j *Job, detail string) {
-	c.Events = append(c.Events, Event{
+	c.emit(Event{
 		T:     c.k.Now(),
 		Kind:  kind,
 		JobID: j.ID,

@@ -295,11 +295,11 @@ func TestRandomWorkloadInvariants(t *testing.T) {
 	cl := testCluster(16)
 	c := NewController(cl, DefaultConfig())
 	overAlloc := false
-	c.OnSample = func(_ sim.Time, alloc, _, _, _ int) {
+	c.SubscribeSamples(func(_ sim.Time, alloc, _, _, _ int) {
 		if alloc > 16 {
 			overAlloc = true
 		}
-	}
+	})
 	var jobs []*Job
 	at := sim.Time(0)
 	for i := 0; i < 60; i++ {

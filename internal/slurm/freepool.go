@@ -54,6 +54,7 @@ type freePool struct {
 	byNode  []*classPool // node index -> its class pool
 	total   int
 	version uint64
+	ops     uint64 // membership mutations (telemetry: free-pool churn)
 }
 
 // newFreePool builds the pool with every node free and awake (nodes
@@ -104,6 +105,7 @@ func (p *freePool) add(i int) {
 	cp.awake.set(i)
 	cp.nAwake++
 	p.total++
+	p.ops++
 	p.bump()
 }
 
@@ -121,6 +123,7 @@ func (p *freePool) remove(i int) {
 		return
 	}
 	p.total--
+	p.ops++
 	p.bump()
 }
 
@@ -135,6 +138,7 @@ func (p *freePool) markAsleep(i int) {
 	cp.nAwake--
 	cp.asleep.set(i)
 	cp.nAsleep++
+	p.ops++
 	p.bump()
 }
 

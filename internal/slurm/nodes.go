@@ -27,6 +27,9 @@ func (c *Controller) DrainNode(index int) error {
 	if c.pool.contains(index) {
 		c.pool.remove(index)
 		c.drainedUnheld++
+		if c.tel != nil {
+			c.tel.nodeSpan(c.k.Now(), index, "drained")
+		}
 	}
 	// A drained node stays powered for maintenance: cancel any armed
 	// sleep timer and wake it if it already dozed off.

@@ -95,6 +95,7 @@ func (c *Controller) setJobPState(j *Job, ps int) {
 	if ps < 0 {
 		ps = 0
 	}
+	old := j.pstate
 	for _, n := range j.alloc {
 		c.cfg.Energy.SetPState(n.Index, ps)
 	}
@@ -111,6 +112,19 @@ func (c *Controller) setJobPState(j *Job, ps int) {
 		c.log(EvRestore, j, fmt.Sprintf("p%d", ps))
 	}
 	j.pstate = ps
+	if c.tel != nil && ps != old {
+		if ps > old {
+			c.tel.capThrottles.Inc()
+		} else {
+			c.tel.capRestores.Inc()
+		}
+		now := c.k.Now()
+		label := jobNodeLabel(j)
+		for _, n := range j.alloc {
+			c.tel.nodeSpan(now, n.Index, label)
+		}
+		c.telResize(j) // re-open the run span at the new P-state
+	}
 	// The new P-state re-prices the job's release estimate.
 	c.repositionEndOrder(j)
 }
@@ -161,10 +175,23 @@ func (c *Controller) capAdmit(j *Job, n int) bool {
 			}
 		}
 		if over > powerSlack {
+			if c.tel != nil {
+				c.tel.capDeferred.Inc()
+			}
 			return false // headroom estimate was off; leave the job queued
 		}
 		j.pstate = ps
+		if c.tel != nil {
+			if ps == 0 {
+				c.tel.capAdmitP0.Inc()
+			} else {
+				c.tel.capAdmitDeep.Inc()
+			}
+		}
 		return true
+	}
+	if c.tel != nil {
+		c.tel.capDeferred.Inc()
 	}
 	return false
 }

@@ -17,7 +17,7 @@ func capController(nodes int, capW float64) (*platform.Cluster, *Controller, *[]
 	cfg.Energy = energy.New(cl.K, cl.PowerProfiles())
 	cfg.PowerCapW = capW
 	samples := &[]float64{}
-	cfg.Energy.OnPowerSample = func(_ sim.Time, w float64) { *samples = append(*samples, w) }
+	cfg.Energy.SubscribePowerSamples(func(_ sim.Time, w float64) { *samples = append(*samples, w) })
 	return cl, NewController(cl, cfg), samples
 }
 

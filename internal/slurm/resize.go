@@ -66,6 +66,13 @@ func (c *Controller) DetachNodes(j *Job) []*platform.Node {
 	// The job keeps "running" with zero nodes until cancelled, exactly
 	// like the transient state in the paper's dance.
 	c.log(EvDetach, j, fmt.Sprintf("parked=%d", len(nodes)))
+	if c.tel != nil {
+		now := c.k.Now()
+		label := fmt.Sprintf("held j%d", j.ID)
+		for _, n := range nodes {
+			c.tel.nodeSpan(now, n.Index, label)
+		}
+	}
 	return nodes
 }
 
@@ -160,6 +167,14 @@ func (c *Controller) GrowJob(j *Job, nodes []*platform.Node) {
 	}
 	j.ResizeCount++
 	c.log(EvGrow, j, fmt.Sprintf("nodes=%d", len(j.alloc)))
+	if c.tel != nil {
+		now := c.k.Now()
+		label := jobNodeLabel(j)
+		for _, n := range nodes {
+			c.tel.nodeSpan(now, n.Index, label)
+		}
+		c.telResize(j)
+	}
 	c.sample()
 }
 
@@ -181,6 +196,9 @@ func (c *Controller) ShrinkJob(j *Job, n int) []*platform.Node {
 	c.releaseNodes(released)
 	j.ResizeCount++
 	c.log(EvShrink, j, fmt.Sprintf("nodes=%d released=%d", n, len(released)))
+	if c.tel != nil {
+		c.telResize(j)
+	}
 	c.sample()
 	c.kick()
 	return released

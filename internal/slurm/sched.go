@@ -2,9 +2,11 @@ package slurm
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // priority computes a job's scheduling priority. The paper enables
@@ -137,6 +139,26 @@ func (c *Controller) startSize(j *Job, free int) (int, bool) {
 func (c *Controller) schedulePass() {
 	queue := append(c.passQueue[:0], c.pending...)
 	defer func() { c.passQueue = queue[:0] }()
+	// Pass-local instrument shadows: stack counters cost nothing when
+	// telemetry is off; the deferred publisher only exists when it is on.
+	var mainStarts, bfStarts, bfScanned uint64
+	if tel := c.tel; tel != nil {
+		wallStart := time.Now()
+		defer func() {
+			tel.passes.Inc()
+			tel.mainStarts.Add(mainStarts)
+			tel.bfStarts.Add(bfStarts)
+			tel.bfScanned.Add(bfScanned)
+			tel.bfSkipped.Add(bfScanned - bfStarts)
+			// Wall-clock latency goes to the profiling registry only —
+			// never into the deterministic registry or the trace.
+			tel.passWall.Observe(time.Since(wallStart).Seconds())
+			tel.sink.Trace.Instant(tracePidSched, traceTidPasses, "sched", "pass", c.k.Now(),
+				telemetry.Arg{Key: "main_starts", Val: mainStarts},
+				telemetry.Arg{Key: "backfill_starts", Val: bfStarts},
+				telemetry.Arg{Key: "backfill_scanned", Val: bfScanned})
+		}()
+	}
 	// Main pass: start jobs in priority order until the first one that
 	// cannot run; that job becomes the backfill reservation holder. A
 	// job can be blocked on nodes or — under a power cap — on watts:
@@ -173,6 +195,7 @@ func (c *Controller) schedulePass() {
 				}
 			}
 			c.startJob(j, n)
+			mainStarts++
 			queue = append(queue[:qi], queue[qi+1:]...)
 			started = true
 			break // rescan from the top: free counts changed
@@ -212,6 +235,7 @@ func (c *Controller) schedulePass() {
 			if j == blocked || j.State != StatePending || !c.eligible(j) {
 				continue
 			}
+			bfScanned++
 			need := c.needNodes(j)
 			if need > c.freeFor(j) {
 				continue
@@ -254,6 +278,7 @@ func (c *Controller) schedulePass() {
 				continue
 			}
 			c.startJob(j, n)
+			bfStarts++
 			if !fitsBefore {
 				for _, nd := range j.alloc {
 					if blocked.ClassEligible(nd) {

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d, want 5", c.Value())
+	}
+	if r.Counter("ops_total") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Set(3)
+	if g.Value() != 3 || g.Max() != 7 {
+		t.Fatalf("gauge value=%v max=%v, want 3/7", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wait_s", []float64{1, 10, 60})
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	for _, v := range []float64{0.5, 1, 1.5, 10, 59.9, 60, 61, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count %d, want 8", h.Count())
+	}
+	// Cumulative: le=1 -> {0.5, 1}; le=10 -> +{1.5, 10}; le=60 -> +{59.9, 60}.
+	for i, want := range []uint64{2, 4, 6, 8} {
+		if got := h.Bucket(i); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if h.Sum() < 1193.8 || h.Sum() > 1194 {
+		t.Fatalf("sum %v", h.Sum())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "descending bounds", func() { r.Histogram("bad", []float64{10, 1}) })
+	r.Histogram("ok", []float64{1, 2})
+	mustPanic(t, "bounds mismatch", func() { r.Histogram("ok", []float64{1}) })
+	r.Counter("c")
+	mustPanic(t, "kind clash", func() { r.Gauge("c") })
+	mustPanic(t, "kind clash", func() { r.Histogram("c", []float64{1}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestSnapshotOrdering registers instruments in non-alphabetical order
+// and checks both exporters emit them sorted by name — the stable
+// snapshot order the goldens rely on.
+func TestSnapshotOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta_total").Inc()
+	r.Histogram("mid_seconds", []float64{1}).Observe(0.5)
+	r.Gauge("alpha_depth").Set(2)
+
+	var prom bytes.Buffer
+	if err := r.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	ia := strings.Index(out, "alpha_depth")
+	im := strings.Index(out, "mid_seconds")
+	iz := strings.Index(out, "zeta_total")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("prom export not sorted:\n%s", out)
+	}
+
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "name,kind,field,value" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "alpha_depth,") || !strings.HasPrefix(lines[len(lines)-1], "zeta_total,") {
+		t.Fatalf("csv export not sorted:\n%s", csv.String())
+	}
+
+	// Identical registries export identical bytes.
+	var again bytes.Buffer
+	if err := r.WriteProm(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatal("repeated export differs")
+	}
+}
+
+func TestPromHistogramFormat(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.5, 2})
+	h.Observe(0.1)
+	h.Observe(1)
+	h.Observe(5)
+	var b bytes.Buffer
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE lat histogram\n" +
+		"lat_bucket{le=\"0.5\"} 1\n" +
+		"lat_bucket{le=\"2\"} 2\n" +
+		"lat_bucket{le=\"+Inf\"} 3\n" +
+		"lat_sum 6.1\n" +
+		"lat_count 3\n"
+	if b.String() != want {
+		t.Fatalf("prom histogram:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestLookupHistogram: the non-creating getter finds registered
+// histograms and returns nil (not a fresh instrument) for unknown names.
+func TestLookupHistogram(t *testing.T) {
+	r := NewRegistry()
+	if r.LookupHistogram("absent") != nil {
+		t.Fatal("lookup of an unregistered histogram was non-nil")
+	}
+	h := r.Histogram("h", []float64{1, 2})
+	if r.LookupHistogram("h") != h {
+		t.Fatal("lookup returned a different instrument")
+	}
+	if r.LookupHistogram("absent") != nil {
+		t.Fatal("lookup created a histogram as a side effect")
+	}
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// The sim-time structured tracer. Events accumulate in emission order
+// and export as Chrome trace-event JSON (the format Perfetto and
+// chrome://tracing load). Virtual time maps directly onto the format's
+// microsecond timestamps — sim.Time is counted in microseconds — so a
+// span's on-screen extent IS its simulated duration, with no wall-clock
+// anywhere in the file.
+
+// Arg is one key/value pair attached to a trace event. Val must be a
+// string, bool, or any integer/float type.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// traceEvent is one serialized-to-be event.
+type traceEvent struct {
+	name     string
+	cat      string
+	ph       byte // X=span, i=instant, C=counter, M=metadata
+	ts, dur  sim.Time
+	pid, tid int
+	args     []Arg
+}
+
+// Tracer accumulates trace events.
+type Tracer struct {
+	evs []traceEvent
+}
+
+// NewTracer builds an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Len returns how many events have been emitted.
+func (t *Tracer) Len() int { return len(t.evs) }
+
+// MetaProcess names a process track.
+func (t *Tracer) MetaProcess(pid int, name string) {
+	t.evs = append(t.evs, traceEvent{
+		name: "process_name", ph: 'M', pid: pid,
+		args: []Arg{{Key: "name", Val: name}},
+	})
+}
+
+// MetaThread names a thread track within a process.
+func (t *Tracer) MetaThread(pid, tid int, name string) {
+	t.evs = append(t.evs, traceEvent{
+		name: "thread_name", ph: 'M', pid: pid, tid: tid,
+		args: []Arg{{Key: "name", Val: name}},
+	})
+}
+
+// Span emits a complete span covering [start, end] of virtual time.
+func (t *Tracer) Span(pid, tid int, cat, name string, start, end sim.Time, args ...Arg) {
+	t.evs = append(t.evs, traceEvent{
+		name: name, cat: cat, ph: 'X', ts: start, dur: end - start,
+		pid: pid, tid: tid, args: args,
+	})
+}
+
+// Instant emits a zero-duration marker at ts.
+func (t *Tracer) Instant(pid, tid int, cat, name string, ts sim.Time, args ...Arg) {
+	t.evs = append(t.evs, traceEvent{
+		name: name, cat: cat, ph: 'i', ts: ts, pid: pid, tid: tid, args: args,
+	})
+}
+
+// Counter emits a counter sample at ts; each arg becomes one series of
+// the counter track.
+func (t *Tracer) Counter(pid int, name string, ts sim.Time, args ...Arg) {
+	t.evs = append(t.evs, traceEvent{
+		name: name, ph: 'C', ts: ts, pid: pid, args: args,
+	})
+}
+
+// writeArg serializes one argument value.
+func writeArg(w io.Writer, v any) error {
+	var s string
+	switch x := v.(type) {
+	case string:
+		s = strconv.Quote(x)
+	case bool:
+		s = strconv.FormatBool(x)
+	case int:
+		s = strconv.Itoa(x)
+	case int64:
+		s = strconv.FormatInt(x, 10)
+	case uint64:
+		s = strconv.FormatUint(x, 10)
+	case float64:
+		s = ftoa(x)
+	case sim.Time:
+		s = strconv.FormatInt(int64(x), 10)
+	default:
+		return fmt.Errorf("telemetry: unsupported trace arg type %T", v)
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// WriteJSON exports the accumulated events as Chrome trace-event JSON
+// (object form, displayTimeUnit ms). Events appear in emission order;
+// the format does not require sorting.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i := range t.evs {
+		e := &t.evs[i]
+		sep := ",\n"
+		if i == len(t.evs)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "{\"name\":%s,\"ph\":%q,\"pid\":%d,\"tid\":%d",
+			strconv.Quote(e.name), string(e.ph), e.pid, e.tid); err != nil {
+			return err
+		}
+		if e.cat != "" {
+			if _, err := fmt.Fprintf(w, ",\"cat\":%s", strconv.Quote(e.cat)); err != nil {
+				return err
+			}
+		}
+		if e.ph != 'M' {
+			if _, err := fmt.Fprintf(w, ",\"ts\":%d", e.ts.Microseconds()); err != nil {
+				return err
+			}
+		}
+		if e.ph == 'X' {
+			if _, err := fmt.Fprintf(w, ",\"dur\":%d", e.dur.Microseconds()); err != nil {
+				return err
+			}
+		}
+		if e.ph == 'i' {
+			if _, err := io.WriteString(w, ",\"s\":\"t\""); err != nil {
+				return err
+			}
+		}
+		if len(e.args) > 0 {
+			if _, err := io.WriteString(w, ",\"args\":{"); err != nil {
+				return err
+			}
+			for k, a := range e.args {
+				if k > 0 {
+					if _, err := io.WriteString(w, ","); err != nil {
+						return err
+					}
+				}
+				if _, err := io.WriteString(w, strconv.Quote(a.Key)+":"); err != nil {
+					return err
+				}
+				if err := writeArg(w, a.Val); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, "}"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}"+sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

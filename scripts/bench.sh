@@ -3,12 +3,21 @@
 # comparable across machines and PRs) and writes BENCH_scale.json, the
 # performance trajectory future PRs are measured against.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [output.json] [cpu-profile.out]
+#
+# With a second argument the scheduler-throughput run also captures a
+# host CPU profile (view with `go tool pprof <profile>`); CI uploads it
+# as a build artifact so hot-path changes ship with their flame graph.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_scale.json}"
+profile="${2:-}"
 
-sched=$(go test -run xxx -bench 'BenchmarkSchedulerThroughput$' -benchtime 1x -timeout 1h . | grep '^BenchmarkSchedulerThroughput')
+prof_args=()
+if [ -n "$profile" ]; then
+  prof_args=(-cpuprofile "$profile")
+fi
+sched=$(go test -run xxx -bench 'BenchmarkSchedulerThroughput$' -benchtime 1x -timeout 1h "${prof_args[@]}" . | grep '^BenchmarkSchedulerThroughput')
 kernel=$(go test -run xxx -bench 'BenchmarkKernelEventRate$' -benchtime 2000000x . | grep '^BenchmarkKernelEventRate')
 
 # Bench lines look like:
@@ -34,3 +43,8 @@ BEGIN {
 }' > "$out"
 echo "wrote $out"
 cat "$out"
+
+if [ -n "$profile" ]; then
+  rm -f repro.test # -cpuprofile side product; the profile embeds its symbols
+  echo "wrote $profile"
+fi

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Guards the scheduler hot path against perf regressions: runs
+# BenchmarkSchedulerThroughput a few times and compares the best run
+# against the ns_per_run baseline committed in BENCH_scale.json. Fails
+# when the best run is more than 5% slower than baseline.
+#
+# The margin is tight, so this guard is meant for the machine class the
+# baseline was recorded on (a dev box, or CI with BENCH_BASELINE_NS
+# pinned to a CI-recorded value). Best-of-N filters scheduler noise;
+# 5% still catches a real hot-path regression, which shows up as tens
+# of percent, not single digits.
+#
+# Usage: scripts/bench_guard.sh [runs]
+#   BENCH_BASELINE_NS  override the baseline (default: BENCH_scale.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+runs="${1:-3}"
+
+baseline="${BENCH_BASELINE_NS:-$(sed -n 's/.*"ns_per_run": \([0-9]*\).*/\1/p' BENCH_scale.json)}"
+if [ -z "$baseline" ]; then
+  echo "bench_guard.sh: no ns_per_run baseline in BENCH_scale.json" >&2
+  exit 1
+fi
+
+best=""
+for i in $(seq 1 "$runs"); do
+  line=$(go test -run xxx -bench 'BenchmarkSchedulerThroughput$' -benchtime 1x -timeout 1h . | grep '^BenchmarkSchedulerThroughput')
+  ns=$(awk '{ for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1) }' <<<"$line")
+  echo "run $i/$runs: $ns ns/op"
+  if [ -z "$best" ] || [ "$ns" -lt "$best" ]; then
+    best="$ns"
+  fi
+done
+
+awk -v best="$best" -v base="$baseline" 'BEGIN {
+  pct = 100 * (best - base) / base
+  printf "best %d ns/op vs baseline %d ns/op (%+.1f%%)\n", best, base, pct
+  if (best > base * 1.05) {
+    print "scheduler throughput regressed more than 5% against BENCH_scale.json" > "/dev/stderr"
+    exit 1
+  }
+}'
