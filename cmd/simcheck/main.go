@@ -1,0 +1,31 @@
+// Simcheck statically enforces the simulator's determinism invariants:
+// no wall-clock reads in deterministic packages (walltime), no
+// order-sensitive work inside map iteration (maporder), seeded RNG
+// stream discipline (rngstream), and explicit units in sim.Time
+// arithmetic (simtime).
+//
+// Run it standalone:
+//
+//	go build -o bin/simcheck ./cmd/simcheck
+//	bin/simcheck ./...
+//
+// or as a go vet tool, which also covers test files:
+//
+//	go vet -vettool=$(pwd)/bin/simcheck ./...
+//
+// Findings are suppressed per line with an annotation that must state
+// a reason:
+//
+//	//simcheck:allow <analyzer> <reason>
+//
+// scripts/lint.sh wraps both invocations and mirrors the CI lint job.
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	driver.Main(lint.Suite()...)
+}

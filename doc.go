@@ -10,6 +10,12 @@
 // energy, quantifying the paper's claim that malleability saves energy
 // by letting freed nodes power down.
 //
+// The determinism contract is enforced statically by cmd/simcheck
+// (analyzers in internal/lint): run `go vet -vettool` with it, or
+// scripts/lint.sh, to reject wall-clock reads, order-dependent map
+// iteration, unseeded randomness and unit-free sim.Time literals at
+// compile time.
+//
 // The root package hosts the benchmark suite (bench_test.go): one
 // benchmark per table and figure of the paper's evaluation. See
 // DESIGN.md for the system inventory and EXPERIMENTS.md for

@@ -33,7 +33,8 @@ type Config struct {
 	// Async runs flexible jobs with dmr_icheck_status semantics (§VIII-C).
 	Async bool
 	// SchedPeriod, when >= 0, overrides every application's checking
-	// inhibitor period; -1 keeps each class's Table I default.
+	// inhibitor period; SchedPeriodDefault (-1) keeps each class's
+	// Table I default.
 	SchedPeriod sim.Time
 	// StepsPerCheck, when > 0, overrides the reconfiguring-point batching.
 	StepsPerCheck int
@@ -108,9 +109,14 @@ type Config struct {
 	EventLogCap int
 }
 
+// SchedPeriodDefault is the SchedPeriod sentinel that keeps each
+// application class's Table I checking-inhibitor period. It is not a
+// duration, which is why it has a name instead of a raw -1.
+const SchedPeriodDefault sim.Time = -1
+
 // DefaultConfig returns the standard experiment setup.
 func DefaultConfig() Config {
-	return Config{Policy: true, SchedPeriod: -1, TimeLimitFactor: 4}
+	return Config{Policy: true, SchedPeriod: SchedPeriodDefault, TimeLimitFactor: 4}
 }
 
 // System is a wired cluster ready to accept workloads.

@@ -2,6 +2,7 @@ package energy
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -395,11 +396,19 @@ func (a *Accountant) JobJoules(jobID int) float64 {
 }
 
 // AttributedJoules returns the energy charged to any job so far.
+// Jobs are summed in ID order: float addition is not associative, and
+// this total feeds experiment CSVs, so summing in map order would let
+// Go's randomized iteration leak into golden artifacts.
 func (a *Accountant) AttributedJoules() float64 {
 	a.Flush()
+	ids := make([]int, 0, len(a.jobs))
+	for id := range a.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	total := 0.0
-	for _, j := range a.jobs {
-		total += j
+	for _, id := range ids {
+		total += a.jobs[id]
 	}
 	return total
 }

@@ -90,7 +90,7 @@ func (t Thermal) CrossTime(t0, powerW, target float64) (sim.Time, bool) {
 	if !((t0 < target && target < teq) || (teq < target && target < t0)) {
 		return 0, false
 	}
-	return sim.Seconds(t.tau()*math.Log((t0-teq)/(target-teq))) + 1, true
+	return sim.Seconds(t.tau()*math.Log((t0-teq)/(target-teq))) + sim.Microsecond, true
 }
 
 // DefaultThermalFor derives a class envelope from a profile's P0 draw,

@@ -106,8 +106,10 @@ func scaleRun(regime string, pc platform.Config, classAware bool, specs []worklo
 	cfg.EventLogCap = 10000
 	sys := core.NewSystem(cfg)
 	sys.SubmitAll(specs)
+	//simcheck:allow walltime scale experiment measures host throughput, not sim results
 	start := time.Now()
 	res := sys.Run()
+	//simcheck:allow walltime wall seconds is the quantity this experiment reports
 	wall := time.Since(start).Seconds()
 	run := ScaleRun{Regime: regime, Res: res, WallSec: wall, KernelEvents: sys.Cluster.K.Events()}
 	if wall > 0 {

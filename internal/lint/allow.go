@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// allowPrefix is the escape-hatch annotation recognized by every
+// simcheck analyzer:
+//
+//	//simcheck:allow <analyzer> <reason...>
+//
+// placed on the flagged line or the line immediately above it. The
+// reason is mandatory: an allow with no stated reason is itself a
+// diagnostic, so the annotation can never silently accumulate.
+const allowPrefix = "//simcheck:allow"
+
+// allowSet records, per file line, which analyzers are allowed there
+// and whether the annotation carried a reason.
+type allowSet struct {
+	fset  *token.FileSet
+	lines map[int]map[string]bool // line -> analyzer name -> has reason
+}
+
+// collectAllows scans a file's comments for //simcheck:allow
+// annotations. Malformed annotations (no analyzer name, or a name with
+// no reason) are reported immediately against the owning analyzer so
+// every analyzer run surfaces them at most once: only the analyzer the
+// annotation names reports, and an annotation naming no analyzer is
+// reported by whichever analyzer scans first with reportBad set.
+func collectAllows(pass *analysis.Pass, file *ast.File, reportBad bool) *allowSet {
+	as := &allowSet{fset: pass.Fset, lines: make(map[int]map[string]bool)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+			// Allow linttest `// want` expectations to share the
+			// annotation's line without counting as a reason.
+			if i := strings.Index(rest, "// want"); i >= 0 {
+				rest = strings.TrimSpace(rest[:i])
+			}
+			name, reason, _ := strings.Cut(rest, " ")
+			if name == "" {
+				if reportBad {
+					pass.Reportf(c.Pos(), "malformed %s annotation: missing analyzer name", allowPrefix)
+				}
+				continue
+			}
+			if strings.TrimSpace(reason) == "" && name == pass.Analyzer.Name {
+				pass.Reportf(c.Pos(), "%s %s annotation must state a reason", allowPrefix, name)
+				// Record it anyway: the missing reason is the only
+				// diagnostic; double-reporting the underlying line
+				// would drown it.
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			if as.lines[line] == nil {
+				as.lines[line] = make(map[string]bool)
+			}
+			as.lines[line][name] = true
+		}
+	}
+	return as
+}
+
+// allowed reports whether the given position is covered by an
+// annotation for the named analyzer: same line, or the line directly
+// above (the conventional placement).
+func (as *allowSet) allowed(name string, pos token.Pos) bool {
+	line := as.fset.Position(pos).Line
+	return as.lines[line][name] || as.lines[line-1][name]
+}
+
+// isTestFile reports whether the file's name ends in _test.go. Test
+// files deliberately use seeded math/rand streams and wall-clock
+// timing (benchmark plumbing), so the rngstream and walltime analyzers
+// skip them; maporder and simtime run everywhere, because order bugs
+// in golden-writing test helpers corrupt the very artifacts the suite
+// exists to protect.
+func isTestFile(fset *token.FileSet, file *ast.File) bool {
+	return strings.HasSuffix(fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// modulePath is the import-path prefix of this repository's module.
+// The analyzers key their package scoping off it so that running the
+// suite over stdlib dependencies (as go vet does for fact propagation)
+// is a cheap no-op.
+const modulePath = "repro"
+
+// deterministicPkg reports whether the package path is part of the
+// simulator's deterministic core: every internal package. cmd/ wrappers
+// and scripts sit outside the determinism boundary (they report wall
+// time to humans), as does external code.
+func deterministicPkg(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/internal/")
+}
+
+// inModule reports whether the package path belongs to this module at
+// all (including cmd/ binaries and the repo root package).
+func inModule(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}

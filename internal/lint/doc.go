@@ -1,0 +1,34 @@
+// Package lint implements simcheck, a determinism-lint suite for this
+// repository: four static analyzers that enforce, at review time, the
+// invariants the byte-identical goldens (TestSchedulerDeterminismGolden
+// and the golden CSV/trace artifacts) can only check after the fact.
+//
+//   - walltime:  no host-clock reads in deterministic packages; the two
+//     sanctioned sites are annotated and their values may flow only
+//     into telemetry.Prof-style observations.
+//   - maporder:  no order-sensitive work (emits, unsorted appends,
+//     non-commutative accumulation) inside range-over-map loops.
+//   - rngstream: all randomness comes from internal/workload's seeded
+//     stream constructors; the global math/rand source is forbidden.
+//   - simtime:   no unit-free integer literals or time.Duration values
+//     mixed into sim.Time (microsecond) arithmetic.
+//
+// Every analyzer honors a per-line escape hatch that must state a
+// reason:
+//
+//	//simcheck:allow <analyzer> <reason>
+//
+// The suite runs through cmd/simcheck, both standalone (simcheck ./...)
+// and as a go vet tool (go vet -vettool=$(which simcheck) ./...); see
+// scripts/lint.sh and the CI lint job. The analyzers are written
+// against repro/internal/lint/analysis, a stdlib-only mirror of the
+// golang.org/x/tools/go/analysis API (this build environment has no
+// module proxy), so each analyzer is a drop-in go/analysis pass.
+package lint
+
+import "repro/internal/lint/analysis"
+
+// Suite returns the full simcheck analyzer suite in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{WallTime, MapOrder, RNGStream, SimTime}
+}

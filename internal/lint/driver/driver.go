@@ -1,0 +1,351 @@
+// Package driver runs a simcheck analyzer suite both as a standalone
+// checker over package patterns and as a `go vet -vettool` backend.
+//
+// It speaks the exact command-line protocol go vet requires of a vet
+// tool — `-V=full` (content-addressed tool fingerprint for the build
+// cache), `-flags` (JSON flag description), and `unit.cfg` (JSON
+// description of one compilation unit, typechecked here against the
+// export data files cmd/go supplies) — re-implemented on the standard
+// library alone, mirroring x/tools' unitchecker, because this build
+// environment has no module proxy to fetch x/tools from.
+//
+// Standalone mode (`simcheck ./...`) shells out to `go list -deps
+// -export -json` to obtain the same export data and analyzes every
+// non-dependency package that matches the patterns.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// vetConfig mirrors the JSON compilation-unit description 'go vet'
+// hands to a vettool (x/tools unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a simcheck-style vet tool. It never
+// returns: it exits 0 on a clean run, 1 when diagnostics were
+// reported, and 2 on driver errors.
+func Main(analyzers ...*analysis.Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("simcheck: ")
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	vFlag := flag.String("V", "", "if 'full', print the executable fingerprint expected by go vet and exit")
+	flagsFlag := flag.Bool("flags", false, "print the JSON flag description expected by go vet and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `simcheck statically enforces the simulator's determinism invariants.
+
+Usage:
+	simcheck ./...         analyze packages matching the patterns
+	simcheck unit.cfg      analyze one compilation unit (go vet protocol)
+	go vet -vettool=$(which simcheck) ./...
+
+Analyzers:
+`)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "	%-10s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *vFlag != "" {
+		if *vFlag != "full" {
+			log.Fatalf("unsupported flag value: -V=%s (use -V=full)", *vFlag)
+		}
+		printVersion()
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		// No analyzer flags beyond the protocol ones: report none so
+		// go vet passes only the .cfg file.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], analyzers))
+	}
+	os.Exit(runStandalone(args, analyzers))
+}
+
+// printVersion emits the content-addressed fingerprint go vet uses to
+// key its build cache (same format as cmd/internal/objabi and
+// x/tools analysisflags: "prog version devel comments-go-here
+// buildID=<sha256 of the executable>").
+func printVersion() {
+	prog, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", prog, string(h.Sum(nil)))
+}
+
+// runUnit analyzes the single compilation unit described by a go vet
+// .cfg file, typechecking against the export data cmd/go provides.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		log.Fatalf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// go vet runs the tool over dependencies purely to propagate
+	// analysis facts. simcheck's analyzers are fact-free, so a
+	// facts-only invocation just acknowledges the empty fact set.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0 // the compiler will report it
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring, etc
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	pkg, info, err := typecheck(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		log.Fatal(err)
+	}
+
+	diags := runAnalyzers(analyzers, fset, files, pkg, info)
+	writeVetx()
+	return printDiags(os.Stderr, fset, diags)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// listedPackage is the subset of `go list -json` output the standalone
+// mode consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+}
+
+// runStandalone analyzes all packages matching the patterns, using
+// `go list -deps -export` for file lists and dependency export data.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard,Incomplete"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		log.Fatalf("go list: %v", err)
+	}
+
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			log.Fatalf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Incomplete && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	exit := 0
+	for _, p := range targets {
+		var files []*ast.File
+		parseFailed := false
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, p.Dir+string(os.PathSeparator)+name, nil, parser.ParseComments)
+			if err != nil {
+				log.Print(err)
+				exit, parseFailed = 2, true
+				break
+			}
+			files = append(files, f)
+		}
+		if parseFailed || len(files) == 0 {
+			continue
+		}
+		pkg, info, err := typecheck(fset, p.ImportPath, files, imp, "")
+		if err != nil {
+			log.Print(err)
+			exit = 2
+			continue
+		}
+		diags := runAnalyzers(analyzers, fset, files, pkg, info)
+		if printDiags(os.Stderr, fset, diags) != 0 && exit == 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// typecheck type-checks one package's parsed files with full types.Info.
+func typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: goVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// runAnalyzers applies the suite to one type-checked package and
+// returns the diagnostics in deterministic (position, message) order.
+func runAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			log.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// printDiags writes diagnostics in the file:line:col style go vet
+// expects on stderr; returns 1 if any were printed.
+func printDiags(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) int {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%v: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each case seeds violations that the stock toolchain (go vet, gofmt)
+// accepts silently — a wall-clock call, an unsorted emitting map range,
+// a global rand draw, a raw sim.Time literal — and proves simcheck
+// rejects them, while the sanctioned idioms on the same files stay
+// clean. Expectations live in testdata as `// want "regexp"` comments,
+// the x/tools analysistest convention.
+
+func TestWallTime(t *testing.T) {
+	linttest.Run(t, "testdata", lint.WallTime,
+		"repro/internal/wallpkg", // violations, escape hatch, Prof flow rule (multi-file)
+		"repro/cmd/tool",         // outside the deterministic boundary: clean
+	)
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapOrder, "repro/internal/mappkg")
+}
+
+func TestRNGStream(t *testing.T) {
+	linttest.Run(t, "testdata", lint.RNGStream,
+		"repro/internal/rngpkg",   // global draws + constructors forbidden
+		"repro/internal/workload", // constructors sanctioned, globals still not
+	)
+}
+
+func TestSimTime(t *testing.T) {
+	linttest.Run(t, "testdata", lint.SimTime, "repro/internal/stpkg")
+}

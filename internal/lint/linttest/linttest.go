@@ -1,0 +1,202 @@
+// Package linttest is a hermetic analysistest equivalent for the
+// simcheck analyzers: it loads packages from a testdata/src tree (stub
+// stdlib packages included, so no module proxy or export data is
+// needed), runs one analyzer, and checks its diagnostics against
+// `// want "regexp"` comments in the sources, exactly the x/tools
+// analysistest convention.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run loads each named package from dir/src, applies the analyzer, and
+// reports any mismatch between its diagnostics and the `// want`
+// expectations in the package sources.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := &loader{
+		root: filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loadedPkg),
+	}
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		checkPackage(t, ld.fset, a, pkg)
+	}
+}
+
+// loadedPkg is one typechecked testdata package.
+type loadedPkg struct {
+	pkg   *types.Package
+	info  *types.Info
+	files []*ast.File
+	err   error
+}
+
+// loader typechecks testdata packages, resolving every import from the
+// same tree (memoized, cycle-safe by construction of the tests).
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loadedPkg
+}
+
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, p.err
+	}
+	p := &loadedPkg{}
+	ld.pkgs[path] = p
+
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		p.err = fmt.Errorf("package %q not found in testdata: %v", path, err)
+		return p, p.err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		p.err = fmt.Errorf("package %q has no Go files", path)
+		return p, p.err
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			p.err = err
+			return p, p.err
+		}
+		p.files = append(p.files, f)
+	}
+
+	p.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{Importer: importerFunc(func(imp string) (*types.Package, error) {
+		dep, err := ld.load(imp)
+		if err != nil {
+			return nil, err
+		}
+		return dep.pkg, nil
+	})}
+	p.pkg, p.err = tc.Check(path, ld.fset, p.files, p.info)
+	return p, p.err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one `// want "rx"` on a source line.
+type expectation struct {
+	rx       *regexp.Regexp
+	consumed bool
+}
+
+var wantRe = regexp.MustCompile("(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// parseWants extracts the expectations from a file, keyed by line.
+func parseWants(t *testing.T, fset *token.FileSet, file *ast.File) map[int][]*expectation {
+	t.Helper()
+	wants := make(map[int][]*expectation)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			idx := strings.Index(text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("// want "):], -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				} else {
+					pat = strings.ReplaceAll(pat, `\"`, `"`)
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)
+				}
+				wants[line] = append(wants[line], &expectation{rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// checkPackage runs the analyzer over one loaded package and compares
+// diagnostics against expectations.
+func checkPackage(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, p *loadedPkg) {
+	t.Helper()
+
+	wantsByFile := make(map[string]map[int][]*expectation)
+	for _, f := range p.files {
+		name := fset.Position(f.Pos()).Filename
+		wantsByFile[name] = parseWants(t, fset, f)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     p.files,
+		Pkg:       p.pkg,
+		TypesInfo: p.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s on %s: %v", a.Name, p.pkg.Path(), err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, exp := range wantsByFile[pos.Filename][pos.Line] {
+			if !exp.consumed && exp.rx.MatchString(d.Message) {
+				exp.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for name, wants := range wantsByFile {
+		for line, exps := range wants {
+			for _, exp := range exps {
+				if !exp.consumed {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", name, line, exp.rx)
+				}
+			}
+		}
+	}
+}

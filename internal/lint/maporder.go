@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// MapOrder flags `range` over a map whose body does order-sensitive
+// work: appending to an outer slice, writing to an io.Writer/CSV/trace
+// sink, sending on a channel, or accumulating into outer state in a
+// non-commutative way (float sums, string concatenation, last-write-
+// wins assignments). Go randomizes map iteration on purpose; each of
+// these shapes turns that randomness into a nondeterministic artifact.
+//
+// Order-insensitive idioms are recognized and not flagged:
+//
+//   - collecting keys/values into a slice that is sorted before the
+//     enclosing function uses it (sort.* / slices.Sort* on the same
+//     slice later in the block);
+//   - building another map keyed by the range variables;
+//   - integer counters (n++, n += len(v));
+//   - min/max tracking guarded by a comparison with the target;
+//   - deleting from the ranged map itself.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: `maporder: forbid order-sensitive work inside map iteration
+
+Flags range-over-map loops whose bodies emit (io/CSV/trace writes,
+channel sends, fmt.Fprint*), append to outer slices that are not
+subsequently sorted, or accumulate into outer variables with
+non-commutative operations. Sort the keys first, or annotate:
+
+	//simcheck:allow maporder <reason>`,
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	if !inModule(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		allows := collectAllows(pass, file, false)
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if allows.allowed(pass.Analyzer.Name, rng.Pos()) {
+				return true
+			}
+			checkMapRange(pass, parents, rng)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkMapRange vets one unannotated map-range loop.
+func checkMapRange(pass *analysis.Pass, parents map[ast.Node]ast.Node, rng *ast.RangeStmt) {
+	loopVars := rangeVarObjs(pass, rng)
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(st.Pos(), "channel send inside map iteration: receiver observes random map order (sort keys first or annotate %s maporder)", allowPrefix)
+
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				checkEmitCall(pass, rng, call)
+			}
+
+		case *ast.IncDecStmt:
+			// n++ / n-- on integers is commutative: fine.
+
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, parents, rng, loopVars, st)
+		}
+		return true
+	})
+}
+
+// emitFuncs / emitMethods name callees whose invocation inside a map
+// range makes iteration order observable in an output stream.
+var emitFuncNames = map[string]bool{ // package fmt
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func isEmitMethod(name string) bool {
+	return strings.HasPrefix(name, "Write") || name == "Instant" || name == "Printf" || name == "Fprintf"
+}
+
+// checkEmitCall flags calls that stream bytes or trace events in map
+// order: fmt print family, any Write* method, telemetry trace emits.
+func checkEmitCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" && emitFuncNames[obj.Name()] {
+		pass.Reportf(call.Pos(), "fmt.%s inside map iteration emits in random map order (sort keys first or annotate %s maporder)", obj.Name(), allowPrefix)
+		return
+	}
+	if _, isFunc := obj.(*types.Func); isFunc && isEmitMethod(obj.Name()) && pass.TypesInfo.Selections[sel] != nil {
+		pass.Reportf(call.Pos(), "%s call inside map iteration emits in random map order (sort keys first or annotate %s maporder)", obj.Name(), allowPrefix)
+	}
+}
+
+// checkMapRangeAssign vets an assignment inside a map-range body:
+// writes to state declared outside the loop are order-sensitive unless
+// they follow a commutative idiom.
+func checkMapRangeAssign(pass *analysis.Pass, parents map[ast.Node]ast.Node, rng *ast.RangeStmt, loopVars map[types.Object]bool, st *ast.AssignStmt) {
+	if st.Tok == token.DEFINE {
+		return // new variable scoped to the loop body
+	}
+	for i, lhs := range st.Lhs {
+		// Writes keyed by the iteration's own data commute: building a
+		// reverse map m2[k] = v, or filling s[v.idx].
+		if _, ok := lhs.(*ast.IndexExpr); ok {
+			continue
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			continue
+		}
+		target := pass.TypesInfo.ObjectOf(root)
+		if target == nil || loopVars[target] || declaredWithin(pass, rng.Body, target) {
+			continue
+		}
+
+		var rhs ast.Expr
+		if len(st.Rhs) == len(st.Lhs) {
+			rhs = st.Rhs[i]
+		} else if len(st.Rhs) == 1 {
+			rhs = st.Rhs[0]
+		}
+
+		switch st.Tok {
+		case token.ASSIGN:
+			if isAppendTo(pass, lhs, rhs) {
+				if sortedAfter(pass, parents, rng, lhs) {
+					continue
+				}
+				pass.Reportf(st.Pos(), "append to %s inside map iteration without sorting afterwards: slice order follows random map order (sort it, or annotate %s maporder)", exprText(lhs), allowPrefix)
+				continue
+			}
+			if minMaxGuarded(parents, st, target, pass) {
+				continue
+			}
+			if !mentionsObjs(pass, rhs, loopVars) && !mentionsObj(pass, rhs, target) {
+				continue // same value every iteration: harmless
+			}
+			pass.Reportf(st.Pos(), "assignment to %s inside map iteration is last-write-wins in random map order (sort keys first or annotate %s maporder)", exprText(lhs), allowPrefix)
+
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			t := pass.TypesInfo.TypeOf(lhs)
+			if t == nil {
+				continue
+			}
+			switch b := t.Underlying().(type) {
+			case *types.Basic:
+				info := b.Info()
+				if info&types.IsInteger != 0 && st.Tok != token.QUO_ASSIGN {
+					continue // integer accumulation commutes
+				}
+				kind := "accumulation"
+				if info&types.IsFloat != 0 {
+					kind = "float accumulation (addition is not associative)"
+				} else if info&types.IsString != 0 {
+					kind = "string concatenation"
+				}
+				pass.Reportf(st.Pos(), "%s into %s inside map iteration depends on random map order (sort keys first or annotate %s maporder)", kind, exprText(lhs), allowPrefix)
+			}
+		}
+	}
+}
+
+// rangeVarObjs returns the objects of the loop's key/value variables.
+func rangeVarObjs(pass *analysis.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if o := pass.TypesInfo.ObjectOf(id); o != nil {
+				vars[o] = true
+			}
+		}
+	}
+	return vars
+}
+
+// rootIdent returns the base identifier of x / x.f / (*x).f chains,
+// nil for anything else.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(pass *analysis.Pass, node ast.Node, obj types.Object) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// isAppendTo reports whether the assignment is `lhs = append(lhs, ...)`.
+func isAppendTo(pass *analysis.Pass, lhs, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return len(call.Args) > 0 && exprText(call.Args[0]) == exprText(lhs)
+}
+
+// sortedAfter reports whether, in the statement list enclosing the
+// range loop, a later statement passes the appended slice to a sort
+// call (sort.* or slices.Sort*), making the collected order canonical
+// before use.
+func sortedAfter(pass *analysis.Pass, parents map[ast.Node]ast.Node, rng *ast.RangeStmt, slice ast.Expr) bool {
+	block, ok := parents[rng].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	name := exprText(slice)
+	past := false
+	for _, st := range block.List {
+		if st == ast.Stmt(rng) {
+			past = true
+			continue
+		}
+		if !past {
+			continue
+		}
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			pkg := obj.Pkg().Path()
+			isSort := pkg == "sort" || (pkg == "slices" && strings.HasPrefix(obj.Name(), "Sort"))
+			if !isSort {
+				return true
+			}
+			for _, arg := range call.Args {
+				if strings.Contains(exprText(arg), name) {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// minMaxGuarded recognizes `if v > best { best = v }`-style tracking:
+// the assignment sits under an if whose condition mentions the target.
+func minMaxGuarded(parents map[ast.Node]ast.Node, st *ast.AssignStmt, target types.Object, pass *analysis.Pass) bool {
+	for n := parents[st]; n != nil; n = parents[n] {
+		if ifst, ok := n.(*ast.IfStmt); ok {
+			if mentionsObj(pass, ifst.Cond, target) {
+				return true
+			}
+		}
+		if _, ok := n.(*ast.RangeStmt); ok {
+			return false
+		}
+	}
+	return false
+}
+
+// mentionsObj reports whether expr references obj.
+func mentionsObj(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	if expr == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsObjs reports whether expr references any of the objects.
+func mentionsObjs(pass *analysis.Pass, expr ast.Expr, objs map[types.Object]bool) bool {
+	if expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := pass.TypesInfo.ObjectOf(id); o != nil && objs[o] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

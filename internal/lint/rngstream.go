@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// RNGStream enforces the seeded-stream discipline from the workload
+// generator: all randomness in the simulator flows from *rand.Rand
+// streams constructed inside internal/workload, each derived from the
+// run seed, so that adding a new demand dimension leaves every other
+// stream's draws byte-identical. Package-level math/rand functions
+// (rand.Intn, rand.Float64, ...) share one global, implicitly seeded
+// source — one call anywhere perturbs every stream after it — and a
+// stray rand.New in a scenario generator outside workload either
+// duplicates or reseeds a stream the byte-identical property depends
+// on.
+var RNGStream = &analysis.Analyzer{
+	Name: "rngstream",
+	Doc: `rngstream: enforce seeded RNG stream discipline
+
+Forbids (in non-test files of this module):
+
+  - any use of math/rand or math/rand/v2 package-level functions that
+    touch the shared global source (rand.Intn, rand.Seed, ...), in
+    every package including internal/workload;
+  - rand.New / rand.NewSource outside internal/workload, whose
+    constructors are the only sanctioned way to mint a stream.
+
+Escape hatch: //simcheck:allow rngstream <reason>.`,
+	Run: runRNGStream,
+}
+
+// workloadPkg is the one package allowed to construct RNG streams.
+const workloadPkg = modulePath + "/internal/workload"
+
+// randConstructors may be called inside internal/workload only.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runRNGStream(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if !inModule(path) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		allows := collectAllows(pass, file, false)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			pkg := obj.Pkg().Path()
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand values (r.Intn, r.Float64) are the
+			// sanctioned stream draws: only package-level functions and
+			// constructors are in scope here.
+			if pass.TypesInfo.Selections[sel] != nil {
+				return true
+			}
+			if allows.allowed(pass.Analyzer.Name, sel.Pos()) {
+				return true
+			}
+			name := obj.Name()
+			switch {
+			case randConstructors[name]:
+				if path != workloadPkg {
+					pass.Reportf(sel.Pos(), "rand.%s outside %s: RNG streams must come from the workload package's seeded-stream constructors (or annotate %s rngstream)",
+						name, workloadPkg, allowPrefix)
+				}
+			case name == "Int" || name == "Intn" || name == "Int31" || name == "Int31n" ||
+				name == "Int63" || name == "Int63n" || name == "Int64" || name == "Int64N" ||
+				name == "Uint32" || name == "Uint64" || name == "UintN" || name == "N" ||
+				name == "Float32" || name == "Float64" || name == "ExpFloat64" ||
+				name == "NormFloat64" || name == "Perm" || name == "Shuffle" || name == "Seed":
+				pass.Reportf(sel.Pos(), "rand.%s uses the shared global math/rand source: draw from a seeded *rand.Rand stream from %s instead (or annotate %s rngstream)",
+					name, workloadPkg, allowPrefix)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

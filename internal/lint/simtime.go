@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// SimTime guards the unit discipline of sim.Time, the microsecond-
+// resolution virtual clock every artifact (telemetry trace timestamps,
+// accounting columns, goldens) is stamped in. Two unit bugs are cheap
+// to write and expensive to bisect: adding a raw integer literal to a
+// sim.Time (is 1000 a millisecond or a nanosecond?), and converting a
+// time.Duration (nanoseconds) straight into sim.Time (microseconds) —
+// a silent 1000x error. Both must go through the package's declared
+// unit constants (sim.Millisecond * 5) or conversion helpers
+// (sim.Seconds, sim.Milliseconds).
+var SimTime = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: `simtime: forbid unitless literals and Duration leaks in sim.Time math
+
+Flags, in all files of this module (tests included):
+
+  - x + 1000, x - 1000, x % 1000 where x is sim.Time and the literal
+    carries no unit (write 1000*sim.Microsecond or sim.Millisecond);
+  - sim.Time(lit) conversions of a bare non-zero integer literal;
+  - sim.Time(d) conversions where d is a time.Duration (nanoseconds
+    into a microsecond clock: a silent 1000x bug);
+  - composite-literal fields and struct assignments of sim.Time type
+    initialized from a bare non-zero integer literal.
+
+Escape hatch: //simcheck:allow simtime <reason>.`,
+	Run: runSimTime,
+}
+
+const simPkg = modulePath + "/internal/sim"
+
+func runSimTime(pass *analysis.Pass) (any, error) {
+	if !inModule(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		allows := collectAllows(pass, file, false)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkSimTimeBinary(pass, allows, e)
+			case *ast.CallExpr:
+				checkSimTimeConversion(pass, allows, e)
+			case *ast.CompositeLit:
+				checkSimTimeComposite(pass, allows, e)
+			case *ast.AssignStmt:
+				checkSimTimeAssign(pass, allows, e)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isSimTime reports whether t is (an alias of) sim.Time.
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == simPkg
+}
+
+// bareIntLit returns the literal if e is a bare (possibly negated or
+// parenthesized) integer literal with non-zero value, nil otherwise.
+// Zero is always fine: it is unit-free.
+func bareIntLit(e ast.Expr) *ast.BasicLit {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.SUB && v.Op != token.ADD {
+				return nil
+			}
+			e = v.X
+		case *ast.BasicLit:
+			if v.Kind != token.INT || v.Value == "0" {
+				return nil
+			}
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// checkSimTimeBinary flags additive/modulo arithmetic mixing a
+// sim.Time operand with a unit-free literal. Multiplication and
+// division by a scalar are dimensionally sound (2 * timeout) and the
+// unit-constant idiom itself (5 * sim.Millisecond), so only +, - and %
+// are in scope.
+func checkSimTimeBinary(pass *analysis.Pass, allows *allowSet, e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.ADD, token.SUB, token.REM:
+	default:
+		return
+	}
+	xt, yt := pass.TypesInfo.TypeOf(e.X), pass.TypesInfo.TypeOf(e.Y)
+	if xt == nil || yt == nil {
+		return
+	}
+	var lit *ast.BasicLit
+	if isSimTime(xt) {
+		lit = bareIntLit(e.Y)
+	}
+	if lit == nil && isSimTime(yt) {
+		lit = bareIntLit(e.X)
+	}
+	if lit == nil || allows.allowed("simtime", e.Pos()) {
+		return
+	}
+	pass.Reportf(lit.Pos(), "unit-free literal %s in sim.Time arithmetic: write %s*sim.Microsecond (or another sim unit constant / sim.Seconds helper) so the unit is explicit", lit.Value, lit.Value)
+}
+
+// checkSimTimeConversion flags sim.Time(x) conversions of bare integer
+// literals and of time.Duration values.
+func checkSimTimeConversion(pass *analysis.Pass, allows *allowSet, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || !isSimTime(tv.Type) {
+		return
+	}
+	if allows.allowed("simtime", call.Pos()) {
+		return
+	}
+	arg := call.Args[0]
+	if lit := bareIntLit(arg); lit != nil {
+		pass.Reportf(lit.Pos(), "sim.Time(%s) of a unit-free literal: write %s*sim.Microsecond or use a sim unit constant so the unit is explicit", lit.Value, lit.Value)
+		return
+	}
+	at := pass.TypesInfo.TypeOf(arg)
+	if at == nil {
+		return
+	}
+	if named, ok := at.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+			pass.Reportf(call.Pos(), "sim.Time(time.Duration) converts nanoseconds into a microsecond clock (silent 1000x): use sim.Milliseconds/sim.Seconds on an explicit float instead")
+		}
+	}
+}
+
+// checkSimTimeComposite flags sim.Time struct fields initialized from
+// bare literals inside composite literals.
+func checkSimTimeComposite(pass *analysis.Pass, allows *allowSet, lit *ast.CompositeLit) {
+	st := pass.TypesInfo.TypeOf(lit)
+	if st == nil {
+		return
+	}
+	if p, ok := st.(*types.Pointer); ok {
+		st = p.Elem()
+	}
+	named, ok := st.(*types.Named)
+	if !ok {
+		return
+	}
+	strct, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var ft types.Type
+		for i := 0; i < strct.NumFields(); i++ {
+			if strct.Field(i).Name() == key.Name {
+				ft = strct.Field(i).Type()
+			}
+		}
+		if ft == nil || !isSimTime(ft) {
+			continue
+		}
+		if l := bareIntLit(kv.Value); l != nil && !allows.allowed("simtime", kv.Pos()) {
+			pass.Reportf(l.Pos(), "unit-free literal %s assigned to sim.Time field %s: write %s*sim.Microsecond or use a sim unit constant", l.Value, key.Name, l.Value)
+		}
+	}
+}
+
+// checkSimTimeAssign flags `t += 1000` / `t -= 1000` where t is
+// sim.Time (plain `t = lit` is an untyped-constant conversion already
+// covered by the composite/conversion rules when explicit; implicit
+// assignment of a literal is the same hazard).
+func checkSimTimeAssign(pass *analysis.Pass, allows *allowSet, st *ast.AssignStmt) {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.ASSIGN:
+	default:
+		return
+	}
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		t := pass.TypesInfo.TypeOf(lhs)
+		if t == nil || !isSimTime(t) {
+			continue
+		}
+		if lit := bareIntLit(st.Rhs[i]); lit != nil && !allows.allowed("simtime", st.Pos()) {
+			pass.Reportf(lit.Pos(), "unit-free literal %s assigned to sim.Time %s: write %s*sim.Microsecond or use a sim unit constant", lit.Value, exprText(lhs), lit.Value)
+		}
+	}
+}

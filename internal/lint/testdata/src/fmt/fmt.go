@@ -1,0 +1,11 @@
+// Package fmt is a hermetic stub of the standard library package for
+// the simcheck analyzer tests.
+package fmt
+
+type Writer interface{ Write(p []byte) (int, error) }
+
+func Fprintf(w Writer, format string, a ...any) (int, error) { return 0, nil }
+func Fprintln(w Writer, a ...any) (int, error)               { return 0, nil }
+func Printf(format string, a ...any) (int, error)            { return 0, nil }
+func Println(a ...any) (int, error)                          { return 0, nil }
+func Sprintf(format string, a ...any) string                 { return "" }

@@ -1,0 +1,10 @@
+// Package main sits outside the deterministic boundary (repro/cmd/...):
+// walltime does not apply. maporder and simtime still do.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now() // no diagnostic: cmd/ wrappers may time things
+	_ = time.Since(start)
+}

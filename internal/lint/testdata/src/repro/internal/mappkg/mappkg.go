@@ -1,0 +1,130 @@
+// Package mappkg exercises the maporder analyzer: order-sensitive work
+// inside range-over-map loops versus the recognized commutative idioms.
+package mappkg
+
+import (
+	"fmt"
+	"sort"
+)
+
+type buf struct{}
+
+func (b *buf) Write(p []byte) (int, error)       { return len(p), nil }
+func (b *buf) WriteString(s string) (int, error) { return len(s), nil }
+
+// appendUnsorted collects in map order and never sorts: the slice
+// order is random.
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration without sorting`
+	}
+	return keys
+}
+
+// appendSorted is the sanctioned collect-then-sort idiom.
+func appendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendSortSlice also counts: any sort.* / slices.Sort* call naming
+// the slice after the loop canonicalizes it.
+func appendSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// emit writes bytes in map order.
+func emit(m map[string]int, w *buf) {
+	for k := range m {
+		w.WriteString(k) // want `WriteString call inside map iteration emits in random map order`
+	}
+}
+
+// emitFmt prints in map order.
+func emitFmt(m map[string]int, w *buf) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside map iteration emits in random map order`
+	}
+}
+
+// send makes the receiver observe random order.
+func send(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+// floatSum accumulates a non-associative sum in map order.
+func floatSum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float accumulation \(addition is not associative\) into total`
+	}
+	return total
+}
+
+// stringConcat builds a string in map order.
+func stringConcat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `string concatenation into out`
+	}
+	return out
+}
+
+// lastWriteWins leaves whichever entry the runtime visited last.
+func lastWriteWins(m map[string]int) string {
+	var winner string
+	for k := range m {
+		winner = k // want `assignment to winner inside map iteration is last-write-wins`
+	}
+	return winner
+}
+
+// intCount is commutative: integer accumulation is fine.
+func intCount(m map[string][]int) int {
+	n := 0
+	for _, v := range m {
+		n += len(v)
+		n++
+	}
+	return n
+}
+
+// buildMap writes keyed by the iteration's own data: commutative.
+func buildMap(m map[string]int) map[int]string {
+	rev := make(map[int]string, len(m))
+	for k, v := range m {
+		rev[v] = k
+	}
+	return rev
+}
+
+// maxTrack is the guarded min/max idiom.
+func maxTrack(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// annotated documents why this particular emit is order-insensitive.
+func annotated(m map[string]int, w *buf) {
+	//simcheck:allow maporder counters are merged downstream, order-free
+	for k := range m {
+		w.WriteString(k)
+	}
+}

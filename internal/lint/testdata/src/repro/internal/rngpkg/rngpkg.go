@@ -1,0 +1,30 @@
+// Package rngpkg exercises the rngstream analyzer: global math/rand
+// draws and stream construction outside the workload package.
+package rngpkg
+
+import "math/rand"
+
+// globalDraws use the shared, implicitly coupled source.
+func globalDraws() (int, float64) {
+	a := rand.Intn(100)  // want `rand\.Intn uses the shared global math/rand source`
+	b := rand.Float64()  // want `rand\.Float64 uses the shared global math/rand source`
+	rand.Seed(42)        // want `rand\.Seed uses the shared global math/rand source`
+	rand.Shuffle(3, nil) // want `rand\.Shuffle uses the shared global math/rand source`
+	return a, b
+}
+
+// construct mints a stream outside workload's seeded constructors.
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand\.New outside repro/internal/workload` `rand\.NewSource outside repro/internal/workload`
+}
+
+// draws on an injected stream are the sanctioned shape.
+func draws(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// annotated records why this site is exempt.
+func annotated() int {
+	//simcheck:allow rngstream jitter for a non-sim retry path
+	return rand.Intn(3)
+}

@@ -1,0 +1,15 @@
+// Package sim is a hermetic stub of repro/internal/sim for the
+// simcheck analyzer tests: the simtime analyzer recognizes sim.Time by
+// import path and name.
+package sim
+
+type Time int64
+
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+func Seconds(s float64) Time       { return Time(s * float64(Second)) }
+func Milliseconds(ms float64) Time { return Time(ms * float64(Millisecond)) }

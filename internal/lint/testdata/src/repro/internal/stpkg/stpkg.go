@@ -1,0 +1,51 @@
+// Package stpkg exercises the simtime analyzer: unit-free literals and
+// time.Duration values mixed into sim.Time arithmetic.
+package stpkg
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+const gracePeriod = 5 * sim.Second // unit constants are the idiom
+
+type job struct {
+	Deadline sim.Time
+	Runtime  sim.Time
+	Width    int
+}
+
+func arithmetic(t sim.Time) sim.Time {
+	t = t + 1000            // want `unit-free literal 1000 in sim\.Time arithmetic`
+	t = t - 250             // want `unit-free literal 250 in sim\.Time arithmetic`
+	_ = t % 1000            // want `unit-free literal 1000 in sim\.Time arithmetic`
+	t += 500                // want `unit-free literal 500 assigned to sim\.Time t`
+	t = t + sim.Millisecond // explicit unit: fine
+	t = t + gracePeriod     // named constant: fine
+	t = t * 2               // scalar scaling is dimensionally sound
+	t = t + 0               // zero is unit-free by nature
+	return t
+}
+
+func conversions(d time.Duration) sim.Time {
+	a := sim.Time(5000)                   // want `sim\.Time\(5000\) of a unit-free literal`
+	b := sim.Time(d)                      // want `sim\.Time\(time\.Duration\) converts nanoseconds into a microsecond clock`
+	c := sim.Time(0)                      // zero: fine
+	e := sim.Seconds(1.5)                 // conversion helper: fine
+	f := sim.Time(d.Nanoseconds() / 1000) // explicit integer math: fine
+	return a + b + c + e + f
+}
+
+func fields(width int) job {
+	return job{
+		Deadline: 30000, // want `unit-free literal 30000 assigned to sim\.Time field Deadline`
+		Runtime:  10 * sim.Second,
+		Width:    width, // int field: literals are fine here
+	}
+}
+
+func sentinel() sim.Time {
+	//simcheck:allow simtime -1 is a "not scheduled" sentinel, not a duration
+	return sim.Time(-1)
+}

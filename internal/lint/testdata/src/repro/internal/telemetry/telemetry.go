@@ -1,0 +1,24 @@
+// Package telemetry is a hermetic stub of repro/internal/telemetry for
+// the simcheck analyzer tests: the walltime analyzer recognizes its
+// types by import path when enforcing the Prof quarantine.
+package telemetry
+
+type Registry struct{}
+
+type Histogram struct{}
+
+type Counter struct{}
+
+type Sink struct {
+	Reg  *Registry
+	Prof *Registry
+}
+
+func NewSink() *Sink { return &Sink{Reg: &Registry{}, Prof: &Registry{}} }
+
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram { return &Histogram{} }
+func (r *Registry) Counter(name string) *Counter                       { return &Counter{} }
+
+func (h *Histogram) Observe(v float64) {}
+func (c *Counter) Inc()                {}
+func (c *Counter) Add(v float64)       {}

@@ -1,0 +1,66 @@
+// Package wallpkg exercises the walltime analyzer: forbidden calls,
+// the //simcheck:allow escape hatch, and the Prof-quarantine flow rule.
+package wallpkg
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+type sched struct {
+	passWall *telemetry.Histogram // profiling instrument: prof/wall naming
+	hist     *telemetry.Histogram // deterministic registry instrument
+}
+
+func bare() {
+	t := time.Now() // want `wall-clock call time\.Now in deterministic package`
+	_ = t
+}
+
+func sleepy() {
+	time.Sleep(1) // want `wall-clock call time\.Sleep in deterministic package`
+}
+
+func ticker() {
+	time.NewTicker(1) // want `wall-clock call time\.NewTicker in deterministic package`
+}
+
+// allowedProf is the sanctioned shape: both wall calls annotated with a
+// reason, and the observation lands on a receiver naming the profiling
+// registry — accepted end to end.
+func (s *sched) allowedProf() {
+	//simcheck:allow walltime pass latency is host profiling only
+	start := time.Now()
+	//simcheck:allow walltime pass latency lands in Prof
+	s.passWall.Observe(time.Since(start).Seconds())
+}
+
+// deterministicSink flows an allowed wall value into a non-Prof
+// telemetry instrument: the annotation does not cover that.
+func (s *sched) deterministicSink() {
+	//simcheck:allow walltime smuggling into the deterministic registry
+	start := time.Now()
+	//simcheck:allow walltime still the deterministic registry
+	s.hist.Observe(time.Since(start).Seconds()) // want `escapes the telemetry\.Prof quarantine`
+}
+
+// leaks prints an allowed wall value: not a Prof observation.
+func leaks() {
+	//simcheck:allow walltime pretending this is fine
+	start := time.Now()
+	fmt.Println(start) // want `escapes the telemetry\.Prof quarantine`
+}
+
+// noReason shows the annotation itself is checked: an allow with no
+// stated reason is a diagnostic on its own line.
+func noReason() {
+	//simcheck:allow walltime // want `annotation must state a reason`
+	_ = time.Now()
+}
+
+func malformed() {
+	//simcheck:allow // want `missing analyzer name`
+	_ = 0
+}

@@ -1,0 +1,10 @@
+// Second file of the package: multi-file packages are scanned whole,
+// and annotations in one file do not leak into another.
+package wallpkg
+
+import "time"
+
+func otherFile() {
+	deadline := time.Until(time.Now()) // want `wall-clock call time\.Until` `wall-clock call time\.Now`
+	_ = deadline
+}

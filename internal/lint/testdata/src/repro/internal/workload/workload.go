@@ -1,0 +1,19 @@
+// Package workload is a hermetic stand-in for repro/internal/workload:
+// the one package whose seeded-stream constructors may call rand.New.
+package workload
+
+import "math/rand"
+
+// Streams shows the sanctioned constructor shape: rand.New on an
+// explicitly seeded source, one stream per concern.
+func Streams(seed int64) (*rand.Rand, *rand.Rand) {
+	base := rand.New(rand.NewSource(seed))
+	demands := rand.New(rand.NewSource(seed + 1))
+	return base, demands
+}
+
+// Global draws stay forbidden even here: the shared source would couple
+// every stream in the program.
+func Bad() int {
+	return rand.Intn(10) // want `rand\.Intn uses the shared global math/rand source`
+}

@@ -1,0 +1,9 @@
+// Package sort is a hermetic stub of the standard library package for
+// the simcheck analyzer tests.
+package sort
+
+func Ints(x []int)                                {}
+func Strings(x []string)                          {}
+func Float64s(x []float64)                        {}
+func Slice(x any, less func(i, j int) bool)       {}
+func SliceStable(x any, less func(i, j int) bool) {}

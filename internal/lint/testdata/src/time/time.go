@@ -1,0 +1,25 @@
+// Package time is a hermetic stub of the standard library package for
+// the simcheck analyzer tests: same import path, same names, no body.
+package time
+
+type Time struct{ ns int64 }
+
+type Duration int64
+
+type Ticker struct{}
+
+func Now() Time                  { return Time{} }
+func Since(t Time) Duration      { return 0 }
+func Until(t Time) Duration      { return 0 }
+func Sleep(d Duration)           {}
+func After(d Duration) chan Time { return nil }
+func NewTicker(d Duration) *Ticker {
+	return &Ticker{}
+}
+
+func (t Time) Sub(u Time) Duration  { return 0 }
+func (t Time) Add(d Duration) Time  { return t }
+func (d Duration) Seconds() float64 { return 0 }
+func (d Duration) Nanoseconds() int64 {
+	return int64(d)
+}

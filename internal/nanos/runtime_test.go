@@ -351,6 +351,7 @@ func TestShrinkWaitsForAllAcks(t *testing.T) {
 	flex := e.submitFlexible("acks", 8, cfg, nanos.DefaultConfig())
 	e.cl.K.At(2*sim.Second, func() { e.submitRigid("waiter", 4, 5*sim.Second) })
 
+	//simcheck:allow simtime -1 is a "not yet observed" sentinel, not a duration
 	shrinkAt := sim.Time(-1)
 	for e.cl.K.Idle() == false {
 		e.cl.K.RunUntil(e.cl.K.Now() + sim.Second)

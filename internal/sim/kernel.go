@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime/debug"
+	"sort"
 )
 
 // event is a unit of work on the kernel's calendar. fn runs in kernel
@@ -239,6 +240,7 @@ func (k *Kernel) LiveProcs() []string {
 	for _, p := range k.live {
 		names = append(names, p.name)
 	}
+	sort.Strings(names)
 	return names
 }
 

@@ -143,6 +143,7 @@ func (c *Controller) schedulePass() {
 	// telemetry is off; the deferred publisher only exists when it is on.
 	var mainStarts, bfStarts, bfScanned uint64
 	if tel := c.tel; tel != nil {
+		//simcheck:allow walltime pass-wall latency is a Prof-only host observation
 		wallStart := time.Now()
 		defer func() {
 			tel.passes.Inc()
@@ -152,6 +153,7 @@ func (c *Controller) schedulePass() {
 			tel.bfSkipped.Add(bfScanned - bfStarts)
 			// Wall-clock latency goes to the profiling registry only —
 			// never into the deterministic registry or the trace.
+			//simcheck:allow walltime pass-wall latency lands in sink.Prof only
 			tel.passWall.Observe(time.Since(wallStart).Seconds())
 			tel.sink.Trace.Instant(tracePidSched, traceTidPasses, "sched", "pass", c.k.Now(),
 				telemetry.Arg{Key: "main_starts", Val: mainStarts},

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Static-analysis gate: builds the simcheck vettool and runs the four
+# determinism analyzers (walltime, maporder, rngstream, simtime) over
+# the whole module, both standalone and through `go vet -vettool` so
+# the unitchecker protocol path stays exercised. Any diagnostic fails.
+#
+# staticcheck and govulncheck run as a second layer when they are on
+# PATH (CI installs pinned versions; offline dev boxes may not have
+# them, so locally they are skipped with a warning rather than failed).
+#
+# Usage: scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+
+echo "== build simcheck"
+go build -o "$bin/simcheck" ./cmd/simcheck
+
+echo "== simcheck (standalone)"
+"$bin/simcheck" ./...
+
+echo "== simcheck (go vet -vettool)"
+go vet -vettool="$bin/simcheck" ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck"
+  staticcheck ./...
+else
+  echo "-- staticcheck not on PATH; skipping (CI installs a pinned version)" >&2
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck"
+  govulncheck ./...
+else
+  echo "-- govulncheck not on PATH; skipping (CI installs a pinned version)" >&2
+fi
+
+echo "lint: all gates passed"
