@@ -7,6 +7,7 @@
 //	       [-period s] [-seed N] [-trace] [-events]
 //	       [-energy] [-sleep s] [-energypolicy] [-powercap W]
 //	       [-fastnodes N] [-classaware] [-thermal] [-ladder]
+//	       [-elastic min:max]
 //	       [-tracefile f.json] [-metricsfile f.prom] [-pprof f] [-rtrace f]
 //
 // Observability: -tracefile writes a Chrome trace-event JSON of the run
@@ -42,6 +43,25 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// parseElastic parses the -elastic envelope spec "min:max" ("min" alone
+// or "min:" leaves max at 0, the whole cluster).
+func parseElastic(s string) (*slurm.ElasticConfig, error) {
+	minPart, maxPart, _ := strings.Cut(s, ":")
+	var el slurm.ElasticConfig
+	if _, err := fmt.Sscanf(minPart, "%d", &el.Min); err != nil {
+		return nil, fmt.Errorf("bad -elastic %q: want min:max", s)
+	}
+	if maxPart != "" {
+		if _, err := fmt.Sscanf(maxPart, "%d", &el.Max); err != nil {
+			return nil, fmt.Errorf("bad -elastic %q: want min:max", s)
+		}
+	}
+	if el.Min < 0 || (el.Max != 0 && el.Max < el.Min) {
+		return nil, fmt.Errorf("bad -elastic %q: envelope is inverted", s)
+	}
+	return &el, nil
+}
+
 // create opens path for writing, fatally on error.
 func create(path string) *os.File {
 	f, err := os.Create(path)
@@ -72,6 +92,7 @@ func main() {
 	classAware := flag.Bool("classaware", false, "machine-class-aware placement and resize pricing (use with -fastnodes)")
 	thermal := flag.Bool("thermal", false, "thermal envelopes: sustained load forces DVFS throttling (implies -energy)")
 	ladder := flag.Bool("ladder", false, "idle S-state ladder: 9 W suspend after 120 s idle, 4 W deep state after 600 s (implies -energy)")
+	elastic := flag.String("elastic", "", "elastic fleet envelope min:max — provision/power off nodes against queue pressure (implies -energy; max empty or 0: whole cluster)")
 	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON of the run (Perfetto-loadable)")
 	metricsFile := flag.String("metricsfile", "", "write a telemetry registry snapshot (Prometheus text, or CSV when the path ends in .csv)")
 	pprofFile := flag.String("pprof", "", "write a host CPU profile of the simulator run (go tool pprof)")
@@ -115,7 +136,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dmrsim: -sleep and -ladder are mutually exclusive (the ladder fixes its own rung timings)")
 		os.Exit(2)
 	}
-	if *withEnergy || *sleepAfter > 0 || *energyPolicy || *powerCap > 0 || *thermal || *ladder {
+	if *withEnergy || *sleepAfter > 0 || *energyPolicy || *powerCap > 0 || *thermal || *ladder || *elastic != "" {
 		cfg.Energy = true
 		cfg.IdleSleep = sim.Seconds(*sleepAfter)
 		cfg.EnergyPolicy = *energyPolicy
@@ -124,6 +145,14 @@ func main() {
 		if *ladder {
 			cfg.SleepLadder = slurm.DefaultSleepLadder()
 		}
+	}
+	if *elastic != "" {
+		el, err := parseElastic(*elastic)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmrsim:", err)
+			os.Exit(2)
+		}
+		cfg.Elastic = el
 	}
 	if *fastNodes >= 0 {
 		total := cfg.Nodes
@@ -210,6 +239,13 @@ func main() {
 		fmt.Printf("  cluster energy:       %10.0f kJ\n", res.EnergyJ/1e3)
 		fmt.Printf("  avg cluster draw:     %10.0f W\n", res.AvgPowerW)
 		fmt.Printf("  node wake-ups:        %10d\n", sys.Energy.Wakes())
+	}
+	if cfg.Elastic != nil {
+		boots, decomms := sys.Ctl.ElasticStats()
+		fmt.Printf("  fleet online:         %10d nodes\n", sys.Ctl.FleetNodes())
+		fmt.Printf("  node boots:           %10d\n", boots)
+		fmt.Printf("  node decommissions:   %10d\n", decomms)
+		fmt.Printf("  p95 waiting time:     %10.0f s\n", res.P95Wait.Seconds())
 	}
 	if *thermal {
 		thermSec := 0.0

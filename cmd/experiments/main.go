@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet|scale|thermal|telemetry] [-quick] [-seed N]
+//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet|scale|thermal|telemetry|elastic] [-quick] [-seed N]
 //
 // The energy experiment compares total cluster energy for rigid,
 // malleable (Algorithm 1) and energy-aware-policy runs of the same
@@ -27,6 +27,14 @@
 // machines), and a sparse-load sweep of sleep configurations showing
 // the deep rungs of the S-state ladder beating the single shallow
 // S-state baseline on energy.
+//
+// The elastic experiment runs the capacity-planning study: the same
+// seeded workload shaped diurnal and bursty, on a static full fleet
+// (with the stock sleep ladder) vs an elastic fleet that provisions and
+// powers off nodes against a Min/Max envelope, sweeping the adapt
+// loop's wait target. It reports total energy and the p95 queue wait —
+// boot latency lands on the tail, so the average alone would hide the
+// cost side of the trade — plus the fleet churn (boots/decommissions).
 //
 // The telemetry experiment runs the realistic flexible workload with
 // the deterministic telemetry sink attached and prints the scheduler's
@@ -73,11 +81,13 @@ func main() {
 	capJobs, capLevels := experiments.PowerCapJobs, experiments.PowerCapLevels
 	mixedJobs := experiments.MixedFleetJobs
 	thermalJobs, ladderJobs := experiments.ThermalJobs, experiments.LadderJobs
+	elasticJobs := experiments.ElasticJobs
 	var scaleDims []experiments.ScaleDim // nil sweeps the full dimensions
 	if *quick {
 		scaleDims = experiments.ScaleQuickDims
 		mixedJobs = 20
 		thermalJobs, ladderJobs = 20, 10
+		elasticJobs = 40
 		prelimSizes = []int{10, 25, 50}
 		realSizes = []int{20, 50}
 		fig8Jobs, fig9Sizes = 30, []int{10, 25}
@@ -163,6 +173,12 @@ func main() {
 		fmt.Print(experiments.FormatScale(rows))
 		fmt.Println()
 		writeScaleOutputs(rows)
+	})
+	run("elastic", func() {
+		rows := experiments.Elastic(elasticJobs, experiments.ElasticTargets, *seed)
+		fmt.Print(experiments.FormatElastic(rows))
+		fmt.Println()
+		writeElasticOutputs(rows)
 	})
 	run("telemetry", func() {
 		jobs := 50
@@ -476,6 +492,17 @@ func writeThermalOutputs(row experiments.ThermalRow, ladders []experiments.Ladde
 				end, th.ThrottleC, th.RestoreC, trace)
 		})
 	}
+}
+
+// writeElasticOutputs dumps the elastic study's summary CSV (the
+// golden-pinned artifact) when requested.
+func writeElasticOutputs(rows []experiments.ElasticRow) {
+	if *csvDir == "" {
+		return
+	}
+	writeFile(filepath.Join(*csvDir, "elastic_summary.csv"), func(f *os.File) error {
+		return experiments.WriteElasticSummaryCSV(f, rows)
+	})
 }
 
 // writeTelemetryOutputs dumps the instrumented run's artifacts when

@@ -98,6 +98,13 @@ type Config struct {
 	// Per-job hard/soft class demands (workload ClassMix) are honored
 	// even without this switch.
 	ClassAware bool
+	// Elastic attaches the elastic capacity controller (implies Energy):
+	// a periodic adapt loop sizes the powered fleet between Min and Max
+	// against queue pressure and measured wait, decommissioned nodes
+	// power off to S5 (zero draw, full boot on provision), and EASY
+	// reservations pre-boot the blocked job's nodes ahead of the
+	// reservation start.
+	Elastic *slurm.ElasticConfig
 	// Telemetry, when non-nil, wires the deterministic telemetry sink
 	// through the controller and accountant: sim-time trace spans,
 	// the metrics registry, and wall-clock profiling. Nil disables every
@@ -187,8 +194,8 @@ func NewSystem(cfg Config) *System {
 	}
 	var acct *energy.Accountant
 	rec := &metrics.Recorder{}
-	if cfg.PowerCapW > 0 || cfg.Thermal || len(cfg.SleepLadder) > 0 {
-		cfg.Energy = true // all three run on the accountant's meters
+	if cfg.PowerCapW > 0 || cfg.Thermal || len(cfg.SleepLadder) > 0 || cfg.Elastic != nil {
+		cfg.Energy = true // all four run on the accountant's meters
 	}
 	if cfg.Energy {
 		acct = energy.New(cl.K, cl.PowerProfiles())
@@ -207,6 +214,7 @@ func NewSystem(cfg Config) *System {
 		scfg.SleepState = cfg.SleepState
 		scfg.SleepLadder = cfg.SleepLadder
 		scfg.PowerCapW = cfg.PowerCapW
+		scfg.Elastic = cfg.Elastic
 	}
 	ctl := slurm.NewController(cl, scfg)
 	rec.Attach(ctl)

@@ -10,12 +10,18 @@ import (
 // NodeState is the power-relevant state of one node.
 type NodeState int
 
-// Node power states: powered-on idle, actively computing for a job, or
-// in a sleep state.
+// Node power states: powered-on idle, actively computing for a job, in
+// a sleep state, powered off entirely (S5), or mid-boot on the way back
+// to service. Booting covers both a full boot from Off and a wake
+// transition started ahead of an allocation (wake-ahead): the node
+// already draws boot power but cannot run work until the transition
+// completes.
 const (
 	Idle NodeState = iota
 	Active
 	Sleeping
+	Off
+	Booting
 )
 
 func (s NodeState) String() string {
@@ -26,6 +32,10 @@ func (s NodeState) String() string {
 		return "ACTIVE"
 	case Sleeping:
 		return "SLEEPING"
+	case Off:
+		return "OFF"
+	case Booting:
+		return "BOOTING"
 	}
 	return "?"
 }
@@ -215,9 +225,17 @@ func (a *Accountant) NodeActive(i, jobID, ps int) sim.Time {
 	a.advance(i)
 	m := &a.nodes[i]
 	var wake sim.Time
-	if m.state == Sleeping {
+	switch m.state {
+	case Sleeping:
 		wake = m.profile.WakeLatency(m.sstate)
 		m.wakes++
+	case Off:
+		wake = m.profile.BootDelay()
+		m.wakes++
+	case Booting:
+		// The boot was already started (wake-ahead or a provision in
+		// flight); the remaining transition time is the caller's to
+		// track, since the meter does not record boot deadlines.
 	}
 	m.state = Active
 	m.pstate = m.profile.clampP(ps)
@@ -257,6 +275,78 @@ func (a *Accountant) NodeSleep(i, ss int) {
 	m.state = Sleeping
 	m.sstate = ss
 	a.setDraw(i, m.profile.SleepW(ss))
+	a.armThermal(i)
+}
+
+// NodeOff powers node i down entirely (S5): zero-ish residual draw, a
+// full boot to bring it back. Only an idle or sleeping node can power
+// off; allocated and mid-boot nodes are left untouched.
+func (a *Accountant) NodeOff(i int) {
+	m := &a.nodes[i]
+	if m.state != Idle && m.state != Sleeping {
+		return
+	}
+	a.advance(i)
+	m.state = Off
+	m.jobID = 0
+	a.setDraw(i, m.profile.OffW)
+	a.armThermal(i)
+}
+
+// StartBoot begins bringing node i back toward powered-on idle from a
+// sleep state or from off, returning the transition latency. During the
+// transition the node draws full active power without doing useful work
+// (the boot burn); the caller schedules FinishBoot after the returned
+// latency, or allocates the node mid-boot with NodeActive and tracks the
+// remaining delay itself. No-op (returning 0) from any other state.
+func (a *Accountant) StartBoot(i int) sim.Time {
+	m := &a.nodes[i]
+	var lat sim.Time
+	switch m.state {
+	case Sleeping:
+		lat = m.profile.WakeLatency(m.sstate)
+	case Off:
+		lat = m.profile.BootDelay()
+	default:
+		return 0
+	}
+	a.advance(i)
+	m.wakes++
+	m.state = Booting
+	m.jobID = 0
+	a.setDraw(i, m.profile.ActiveW(0))
+	a.armThermal(i)
+	return lat
+}
+
+// FinishBoot completes a boot transition: the node lands powered-on
+// idle. No-op unless the node is mid-boot, so a stale completion timer
+// for a node that was allocated (or drained) during its boot is safe.
+func (a *Accountant) FinishBoot(i int) {
+	m := &a.nodes[i]
+	if m.state != Booting {
+		return
+	}
+	a.advance(i)
+	m.state = Idle
+	m.jobID = 0
+	a.setDraw(i, m.profile.IdleW)
+	a.armThermal(i)
+}
+
+// ReleaseBooting detaches node i from its job while the node is still
+// inside its wake window (a shrink or completion racing the boot): the
+// node keeps drawing boot power, unattributed, until FinishBoot. No-op
+// unless the node is active.
+func (a *Accountant) ReleaseBooting(i int) {
+	m := &a.nodes[i]
+	if m.state != Active {
+		return
+	}
+	a.advance(i)
+	m.state = Booting
+	m.jobID = 0
+	a.setDraw(i, m.profile.ActiveW(0))
 	a.armThermal(i)
 }
 
@@ -311,15 +401,20 @@ func (a *Accountant) PStateOf(i int) int { return a.nodes[i].pstate }
 func (a *Accountant) NodePowerW(i int) float64 { return a.nodes[i].powerW }
 
 // WakePreview returns the wake latency an allocation of node i would pay
-// right now: the current S-state's wake latency while sleeping, zero
-// otherwise. Backfill uses it to bound a candidate's true launch time
-// without committing the allocation.
+// right now: the current S-state's wake latency while sleeping, the full
+// boot delay while off, zero otherwise. Backfill uses it to bound a
+// candidate's true launch time without committing the allocation. For a
+// node already mid-boot it returns zero — the remaining transition time
+// is tracked by the controller, not the meter.
 func (a *Accountant) WakePreview(i int) sim.Time {
 	m := &a.nodes[i]
-	if m.state != Sleeping {
-		return 0
+	switch m.state {
+	case Sleeping:
+		return m.profile.WakeLatency(m.sstate)
+	case Off:
+		return m.profile.BootDelay()
 	}
-	return m.profile.WakeLatency(m.sstate)
+	return 0
 }
 
 // Speed returns node i's current relative execution speed: its

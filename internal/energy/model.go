@@ -44,6 +44,14 @@ type Profile struct {
 	// SStates are the sleep states, shallowest first. An idle node with
 	// sleep enabled is charged at one of these after its idle timeout.
 	SStates []SState
+	// OffW is the residual draw of a powered-off node (S5): the BMC and
+	// PSU standby load. Zero models a node whose feed is cut entirely.
+	OffW float64
+	// BootLatency is the time a powered-off node needs for a full boot
+	// back to service. Zero falls back to twice the deepest S-state's
+	// wake latency (see BootDelay) so profiles written before the off
+	// state existed keep working.
+	BootLatency sim.Time
 	// Thermal is the class's thermal envelope; the zero value disables
 	// thermal DVFS (no temperature is tracked and no throttling occurs).
 	Thermal Thermal
@@ -86,6 +94,16 @@ func (p Profile) Validate() error {
 	if p.IdleW < p.SStates[0].PowerW {
 		return fmt.Errorf("energy: profile %q idles below its shallowest sleep", p.Class)
 	}
+	deepest := p.SStates[len(p.SStates)-1]
+	if p.OffW < 0 {
+		return fmt.Errorf("energy: profile %q has negative off draw", p.Class)
+	}
+	if p.OffW > deepest.PowerW {
+		return fmt.Errorf("energy: profile %q draws more off than in its deepest sleep", p.Class)
+	}
+	if p.BootLatency != 0 && p.BootLatency < deepest.WakeLatency {
+		return fmt.Errorf("energy: profile %q boots faster than its deepest sleep wakes", p.Class)
+	}
 	if err := p.Thermal.Validate(); err != nil {
 		return fmt.Errorf("energy: profile %q: %v", p.Class, err)
 	}
@@ -104,6 +122,16 @@ func (p Profile) SleepW(ss int) float64 { return p.SStates[p.clampS(ss)].PowerW 
 
 // WakeLatency returns the wake latency from S-state ss.
 func (p Profile) WakeLatency(ss int) sim.Time { return p.SStates[p.clampS(ss)].WakeLatency }
+
+// BootDelay returns the full-boot time from the powered-off state:
+// BootLatency when set, otherwise twice the deepest S-state's wake
+// latency — off is strictly below the deepest sleep rung.
+func (p Profile) BootDelay() sim.Time {
+	if p.BootLatency != 0 {
+		return p.BootLatency
+	}
+	return 2 * p.SStates[len(p.SStates)-1].WakeLatency
+}
 
 func (p Profile) clampP(i int) int {
 	if i < 0 {
@@ -143,6 +171,7 @@ func DefaultProfile() Profile {
 			{PowerW: 9, WakeLatency: 2 * sim.Second},
 			{PowerW: 4, WakeLatency: 30 * sim.Second},
 		},
+		BootLatency: 150 * sim.Second,
 	}
 }
 
@@ -162,6 +191,7 @@ func EfficiencyProfile() Profile {
 			{PowerW: 3, WakeLatency: 1 * sim.Second},
 			{PowerW: 1, WakeLatency: 15 * sim.Second},
 		},
+		BootLatency: 60 * sim.Second,
 	}
 }
 

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/sim"
@@ -90,6 +91,11 @@ type WorkloadResult struct {
 	Jobs          int
 	Makespan      sim.Time
 	AvgWait       sim.Time
+	// P95Wait is the 95th-percentile job queue wait (nearest-rank over
+	// the submitted jobs). Averages hide exactly the tail an elastic
+	// fleet trades energy against, so the capacity experiments report
+	// both.
+	P95Wait       sim.Time
 	AvgExec       sim.Time
 	AvgCompletion sim.Time
 	UtilRate      float64 // percent
@@ -113,11 +119,13 @@ func Collect(jobs []*slurm.Job, tr *Trace) *WorkloadResult {
 		return res
 	}
 	var wait, exec, completion sim.Time
+	waits := make([]sim.Time, 0, len(jobs))
 	for _, j := range jobs {
 		if j.State != slurm.StateCompleted {
 			panic(fmt.Sprintf("metrics: job %d not completed (%v)", j.ID, j.State))
 		}
 		wait += j.WaitTime()
+		waits = append(waits, j.WaitTime())
 		exec += j.ExecTime()
 		completion += j.CompletionTime()
 		res.Resizes += j.ResizeCount
@@ -125,6 +133,8 @@ func Collect(jobs []*slurm.Job, tr *Trace) *WorkloadResult {
 			res.Makespan = j.EndTime
 		}
 	}
+	sort.Slice(waits, func(i, k int) bool { return waits[i] < waits[k] })
+	res.P95Wait = waits[(len(waits)*95+99)/100-1]
 	n := sim.Time(len(jobs))
 	res.AvgWait = wait / n
 	res.AvgExec = exec / n

@@ -72,6 +72,12 @@ type Config struct {
 	// registered with SubscribeEvents still observe every event, and
 	// TotalEvents counts them all. 0 retains everything.
 	EventLogCap int
+	// Elastic, when non-nil, attaches the elastic capacity controller:
+	// a periodic adapt loop provisions and decommissions nodes against
+	// the configured Min/Max envelope, powered-off nodes pay a full boot
+	// on provision, and EASY reservations pre-boot the blocked job's
+	// sleeping nodes (wake-ahead). Requires Energy.
+	Elastic *ElasticConfig
 }
 
 // DefaultConfig mirrors the paper's Slurm setup: backfill scheduling with
@@ -116,6 +122,17 @@ type Controller struct {
 	rpcSlot   *sim.Resource // serializes reconfiguration decisions
 	sleepGen  []int         // per-node timer generation; allocation invalidates armed sleeps
 	ladder    []SleepRung   // normalized idle S-state ladder (nil: idle nodes never sleep)
+
+	// bootUntil records, per node, when its current wake/boot transition
+	// completes (zero or past: not transitioning). It is the state the
+	// free pool's booting bitmaps key off: a node released or resumed
+	// inside its wake window re-enters the pool as booting, so a second
+	// allocation pays exactly the remaining transition — never the full
+	// rung again, and never nothing.
+	bootUntil []sim.Time
+
+	// elastic is the capacity controller state (nil: fixed fleet).
+	elastic *elasticState
 
 	// pick is the pass-scoped placement cache: pickNodes answers for one
 	// job at one pool version, shared by classClampSize, backfillEnd,
@@ -205,16 +222,17 @@ func NewController(c *platform.Cluster, cfg Config) *Controller {
 		}
 	}
 	ctl := &Controller{
-		cluster:  c,
-		k:        c.K,
-		cfg:      cfg,
-		pool:     newFreePool(c.Nodes),
-		owner:    make([]int, len(c.Nodes)),
-		drained:  make([]bool, len(c.Nodes)),
-		jobs:     make(map[int]*Job),
-		running:  make(map[int]*Job),
-		rpcSlot:  sim.NewResource(c.K, 1),
-		sleepGen: make([]int, len(c.Nodes)),
+		cluster:   c,
+		k:         c.K,
+		cfg:       cfg,
+		pool:      newFreePool(c.Nodes),
+		owner:     make([]int, len(c.Nodes)),
+		drained:   make([]bool, len(c.Nodes)),
+		jobs:      make(map[int]*Job),
+		running:   make(map[int]*Job),
+		rpcSlot:   sim.NewResource(c.K, 1),
+		sleepGen:  make([]int, len(c.Nodes)),
+		bootUntil: make([]sim.Time, len(c.Nodes)),
 	}
 	// Normalize the sleep configuration into one ladder: the legacy
 	// single-state drop is a one-rung ladder.
@@ -229,6 +247,9 @@ func NewController(c *platform.Cluster, cfg Config) *Controller {
 	}
 	if cfg.Telemetry != nil {
 		ctl.tel = newTelState(ctl, cfg.Telemetry)
+	}
+	if cfg.Elastic != nil {
+		ctl.initElastic(*cfg.Elastic)
 	}
 	// Nodes start idle; with sleep enabled they doze off unless a job
 	// claims them within the idle timeout.
@@ -301,9 +322,14 @@ func (c *Controller) TotalNodes() int { return len(c.cluster.Nodes) }
 func (c *Controller) FreeNodes() int { return c.pool.total }
 
 // AllocatedNodes returns how many nodes are allocated or held. Drained
-// nodes count only while a job still occupies them.
+// nodes count only while a job still occupies them; powered-off
+// (decommissioned) nodes never count.
 func (c *Controller) AllocatedNodes() int {
-	return len(c.cluster.Nodes) - c.pool.total - c.drainedUnheld
+	n := len(c.cluster.Nodes) - c.pool.total - c.drainedUnheld
+	if c.elastic != nil {
+		n -= c.elastic.offlineN
+	}
+	return n
 }
 
 // Job returns the job with the given id, or nil.
@@ -354,6 +380,7 @@ func (c *Controller) Submit(j *Job) *Job {
 	if c.tel != nil {
 		c.telSubmit(j)
 	}
+	c.armAdapt()
 	c.kick()
 	return j
 }
@@ -409,6 +436,7 @@ func (c *Controller) JobComplete(j *Job) {
 		j.OnEnd(j)
 	}
 	c.sample()
+	c.armAdapt()
 	c.kick()
 }
 
@@ -608,18 +636,23 @@ func (c *Controller) mergePick(elig []*classPool, n int, pref string, anchor flo
 
 	out := make([]*platform.Node, 0, n)
 	awake := make([]bitset, 0, len(ranked))
+	booting := make([]bitset, 0, len(ranked))
 	asleep := make([]bitset, 0, len(ranked))
 	for lo := 0; lo < len(ranked) && len(out) < n; {
 		hi := lo + 1
 		for hi < len(ranked) && !less(ranked[lo], ranked[hi]) {
 			hi++
 		}
-		awake, asleep = awake[:0], asleep[:0]
+		awake, booting, asleep = awake[:0], booting[:0], asleep[:0]
 		for _, tc := range ranked[lo:hi] {
 			awake = append(awake, tc.cp.awake)
+			booting = append(booting, tc.cp.booting)
 			asleep = append(asleep, tc.cp.asleep)
 		}
+		// Awake first (no launch delay), then mid-boot nodes (the
+		// remaining transition is at most a full wake), sleeping last.
 		out = c.pool.appendMerged(out, awake, n)
+		out = c.pool.appendMerged(out, booting, n)
 		out = c.pool.appendMerged(out, asleep, n)
 		lo = hi
 	}
@@ -655,10 +688,18 @@ func (c *Controller) releaseNodes(nodes []*platform.Node) {
 	}
 	c.powerRelease(nodes)
 	c.pool.bump() // the releasing job's allocation changed even if every node drains
+	now := c.k.Now()
 	for _, nd := range nodes {
 		c.owner[nd.Index] = 0
 		if c.drained[nd.Index] {
 			c.drainedUnheld++
+			continue
+		}
+		if c.bootUntil[nd.Index] > now {
+			// Released inside its wake window: the machine is still
+			// booting, so it joins the pool's booting half — a new
+			// allocation pays the remaining transition, not zero.
+			c.pool.addBooting(nd.Index)
 			continue
 		}
 		c.pool.add(nd.Index)
@@ -681,10 +722,27 @@ func (c *Controller) powerAllocate(j *Job, nodes []*platform.Node, ps int) sim.T
 	if j.Resizer && j.Dependency.Type == DepExpand {
 		chargeTo = j.Dependency.JobID
 	}
+	now := c.k.Now()
 	var wake sim.Time
 	for _, n := range nodes {
 		c.sleepGen[n.Index]++ // cancel any armed sleep timer
-		if w := c.cfg.Energy.NodeActive(n.Index, chargeTo, ps); w > 0 {
+		w := c.cfg.Energy.NodeActive(n.Index, chargeTo, ps)
+		if bu := c.bootUntil[n.Index]; bu > now {
+			// Allocated mid-boot (wake-ahead, a provision in flight, or a
+			// release inside the wake window): the accountant reports no
+			// new wake; what remains of the running transition is the
+			// launch delay.
+			if rem := bu - now; rem > w {
+				w = rem
+			}
+		} else if w > 0 && c.elastic != nil {
+			// Track the transition only under the elastic controller: the
+			// release-inside-wake-window repricing below is part of the
+			// elastic boot machinery, and fixed fleets keep the historical
+			// event stream (determinism goldens) bit for bit.
+			c.bootUntil[n.Index] = now + w
+		}
+		if w > 0 {
 			c.logNode(EvWake, n, chargeTo)
 			if c.tel != nil {
 				c.tel.wakes.Inc()
@@ -698,15 +756,57 @@ func (c *Controller) powerAllocate(j *Job, nodes []*platform.Node, ps int) sim.T
 }
 
 // powerRelease reports released nodes to the accountant: they fall to
-// idle draw and, with sleep enabled, re-arm their idle timers.
+// idle draw and, with sleep enabled, re-arm their idle timers. A node
+// still inside its wake window instead keeps drawing boot power until
+// the transition completes (bootDone idles it and arms its sleep then).
 func (c *Controller) powerRelease(nodes []*platform.Node) {
 	if c.cfg.Energy == nil {
 		return
 	}
+	now := c.k.Now()
 	for _, n := range nodes {
+		if c.bootUntil[n.Index] > now {
+			c.cfg.Energy.ReleaseBooting(n.Index)
+			c.scheduleBootDone(n)
+			continue
+		}
 		c.cfg.Energy.NodeIdle(n.Index)
 		c.armSleep(n)
 	}
+}
+
+// scheduleBootDone arms the boot-completion timer for node n at its
+// current bootUntil deadline. Duplicate timers are harmless: bootDone
+// finalizes at most once per transition.
+func (c *Controller) scheduleBootDone(n *platform.Node) {
+	until := c.bootUntil[n.Index]
+	c.k.At(until, func() { c.bootDone(n, until) })
+}
+
+// bootDone finalizes a wake/boot transition for a node that stayed free
+// (or drained) through it: the accountant lands it powered-on idle, the
+// pool moves it to its class's awake half, and its idle-sleep ladder
+// restarts. Stale timers — the node was allocated mid-boot, or a newer
+// transition superseded this one — are no-ops.
+func (c *Controller) bootDone(n *platform.Node, until sim.Time) {
+	i := n.Index
+	if c.bootUntil[i] != until || c.cfg.Energy.State(i) != energy.Booting {
+		return
+	}
+	c.cfg.Energy.FinishBoot(i)
+	c.pool.markAwake(i)
+	c.logNode(EvOnline, n, 0)
+	if c.tel != nil && !c.drained[i] {
+		c.tel.nodeSpan(c.k.Now(), i, "")
+	}
+	c.armSleep(n)
+	if c.elastic != nil {
+		c.elasticBootLanded(n)
+	}
+	if c.capped() {
+		c.capRestore()
+	}
+	c.kick()
 }
 
 // armSleep schedules the idle→sleep descent for a node that just became
@@ -715,7 +815,7 @@ func (c *Controller) powerRelease(nodes []*platform.Node) {
 // nodes. Drained nodes never sleep: they are held out of service for
 // maintenance and stay powered on.
 func (c *Controller) armSleep(n *platform.Node) {
-	if len(c.ladder) == 0 || c.drained[n.Index] {
+	if len(c.ladder) == 0 || c.drained[n.Index] || c.isOffline(n.Index) {
 		return
 	}
 	c.sleepGen[n.Index]++

@@ -22,6 +22,9 @@ const (
 	EvRestore         // throttled job stepped back toward P0 as headroom returned
 	EvThermalThrottle // a node crossed its thermal envelope and its P-state floor deepened
 	EvThermalRestore  // a node cooled to the restore threshold and its floor cleared
+	EvBoot            // a free node's wake/boot transition started (wake-ahead or provision)
+	EvOnline          // a free node's wake/boot transition completed; it is allocatable at full readiness
+	EvOffline         // the elastic controller powered a node off (decommission)
 )
 
 func (k EventKind) String() string {
@@ -56,6 +59,12 @@ func (k EventKind) String() string {
 		return "THERM_THROTTLE"
 	case EvThermalRestore:
 		return "THERM_RESTORE"
+	case EvBoot:
+		return "BOOT"
+	case EvOnline:
+		return "ONLINE"
+	case EvOffline:
+		return "OFFLINE"
 	}
 	return "?"
 }

@@ -32,19 +32,24 @@ func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // classPool tracks one machine class's free nodes. Within a class every
 // node shares the power profile, so the only intra-class affinity keys
-// left are awake-before-sleeping and index order — exactly what the two
-// bitmaps encode.
+// left are awake-before-booting-before-sleeping and index order —
+// exactly what the three bitmaps encode. The booting half holds free
+// nodes still inside a wake/boot transition (wake-ahead, a provision in
+// flight, or a release inside the wake window): allocatable, but an
+// allocation pays the remaining transition, never the full rung again.
 type classPool struct {
-	class   string
-	epw     float64 // P0 joules per unit of reference work
-	speed   float64 // P0 speed (the anchor-matching key)
-	awake   bitset  // free, powered on
-	asleep  bitset  // free, in a sleep state
-	nAwake  int
-	nAsleep int
+	class    string
+	epw      float64 // P0 joules per unit of reference work
+	speed    float64 // P0 speed (the anchor-matching key)
+	awake    bitset  // free, powered on
+	booting  bitset  // free, mid wake/boot transition
+	asleep   bitset  // free, in a sleep state
+	nAwake   int
+	nBooting int
+	nAsleep  int
 }
 
-func (cp *classPool) count() int { return cp.nAwake + cp.nAsleep }
+func (cp *classPool) count() int { return cp.nAwake + cp.nBooting + cp.nAsleep }
 
 // freePool is the controller's indexed view of unallocated nodes.
 type freePool struct {
@@ -69,11 +74,12 @@ func newFreePool(nodes []*platform.Node) *freePool {
 		cp := p.byClass[nd.Class()]
 		if cp == nil {
 			cp = &classPool{
-				class:  nd.Class(),
-				epw:    nd.EnergyPerWork(),
-				speed:  nd.Speed(),
-				awake:  newBitset(len(nodes)),
-				asleep: newBitset(len(nodes)),
+				class:   nd.Class(),
+				epw:     nd.EnergyPerWork(),
+				speed:   nd.Speed(),
+				awake:   newBitset(len(nodes)),
+				booting: newBitset(len(nodes)),
+				asleep:  newBitset(len(nodes)),
 			}
 			p.byClass[cp.class] = cp
 			p.classes = append(p.classes, cp)
@@ -92,18 +98,33 @@ func (p *freePool) bump() { p.version++ }
 // contains reports whether node index i is free.
 func (p *freePool) contains(i int) bool {
 	cp := p.byNode[i]
-	return cp.awake.has(i) || cp.asleep.has(i)
+	return cp.awake.has(i) || cp.booting.has(i) || cp.asleep.has(i)
 }
 
 // add returns a node to the pool, awake (releases and drain-resumes hand
 // back powered-on nodes).
 func (p *freePool) add(i int) {
 	cp := p.byNode[i]
-	if cp.awake.has(i) || cp.asleep.has(i) {
+	if p.contains(i) {
 		return
 	}
 	cp.awake.set(i)
 	cp.nAwake++
+	p.total++
+	p.ops++
+	p.bump()
+}
+
+// addBooting returns a node to the pool mid wake/boot transition (a
+// release or drain-resume inside the node's wake window, or a provision
+// joining the fleet before its boot completes).
+func (p *freePool) addBooting(i int) {
+	cp := p.byNode[i]
+	if p.contains(i) {
+		return
+	}
+	cp.booting.set(i)
+	cp.nBooting++
 	p.total++
 	p.ops++
 	p.bump()
@@ -116,6 +137,9 @@ func (p *freePool) remove(i int) {
 	case cp.awake.has(i):
 		cp.awake.clear(i)
 		cp.nAwake--
+	case cp.booting.has(i):
+		cp.booting.clear(i)
+		cp.nBooting--
 	case cp.asleep.has(i):
 		cp.asleep.clear(i)
 		cp.nAsleep--
@@ -138,6 +162,36 @@ func (p *freePool) markAsleep(i int) {
 	cp.nAwake--
 	cp.asleep.set(i)
 	cp.nAsleep++
+	p.ops++
+	p.bump()
+}
+
+// markBooting moves a free sleeping node to its class's booting half (a
+// wake-ahead pre-boot started).
+func (p *freePool) markBooting(i int) {
+	cp := p.byNode[i]
+	if !cp.asleep.has(i) {
+		return
+	}
+	cp.asleep.clear(i)
+	cp.nAsleep--
+	cp.booting.set(i)
+	cp.nBooting++
+	p.ops++
+	p.bump()
+}
+
+// markAwake moves a free booting node to its class's awake half (the
+// boot transition completed while the node stayed free).
+func (p *freePool) markAwake(i int) {
+	cp := p.byNode[i]
+	if !cp.booting.has(i) {
+		return
+	}
+	cp.booting.clear(i)
+	cp.nBooting--
+	cp.awake.set(i)
+	cp.nAwake++
 	p.ops++
 	p.bump()
 }

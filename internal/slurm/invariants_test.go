@@ -26,6 +26,7 @@ type invConfig struct {
 	classaware bool
 	thermal    bool
 	ladder     bool
+	elastic    bool
 }
 
 var invConfigs = []invConfig{
@@ -34,6 +35,8 @@ var invConfigs = []invConfig{
 	{name: "classaware", classaware: true},
 	{name: "thermal", thermal: true},
 	{name: "ladder", ladder: true},
+	{name: "elastic", elastic: true},
+	{name: "elastic+ladder", elastic: true, ladder: true},
 	{name: "everything", powercap: true, classaware: true, thermal: true, ladder: true},
 }
 
@@ -87,17 +90,50 @@ func (k *invChecker) check(t *testing.T) {
 		if c.owner[i] != 0 && cur.state != energy.Active {
 			t.Fatalf("t=%v node %d owned by %d but %v", now, i, c.owner[i], cur.state)
 		}
-		// The free pool's sleeping half agrees with the accountant, and
-		// no node sits in both halves of its class pool.
+		// The free pool's three halves agree with the accountant, and no
+		// node sits in more than one bitmap of its class pool.
 		cp := c.pool.byNode[i]
-		if cp.awake.has(i) && cp.asleep.has(i) {
-			t.Fatalf("t=%v node %d in both awake and asleep bitmaps", now, i)
+		inSets := 0
+		for _, in := range []bool{cp.awake.has(i), cp.asleep.has(i), cp.booting.has(i)} {
+			if in {
+				inSets++
+			}
+		}
+		if inSets > 1 {
+			t.Fatalf("t=%v node %d in %d pool bitmaps at once", now, i, inSets)
 		}
 		if cp.asleep.has(i) && cur.state != energy.Sleeping {
 			t.Fatalf("t=%v node %d pooled as asleep but %v", now, i, cur.state)
 		}
 		if c.pool.contains(i) && cur.state == energy.Active {
 			t.Fatalf("t=%v node %d is in the free pool while ACTIVE", now, i)
+		}
+		// The mid-boot state is explicit: a free undrained node the
+		// accountant says is booting sits in the pool's booting bitmap
+		// (never awake — the hole that once let a booting node be
+		// allocated as if it were), and pooled-as-awake means no wake
+		// transition is still in flight on its clock.
+		if cp.booting.has(i) {
+			if cur.state != energy.Booting {
+				t.Fatalf("t=%v node %d pooled as booting but %v", now, i, cur.state)
+			}
+			if c.bootUntil[i] < now {
+				t.Fatalf("t=%v node %d pooled as booting past its bootUntil %v", now, i, c.bootUntil[i])
+			}
+		}
+		if cur.state == energy.Booting && c.owner[i] == 0 && !c.drained[i] && !cp.booting.has(i) {
+			t.Fatalf("t=%v node %d is free and BOOTING but not in the booting bitmap", now, i)
+		}
+		if cp.awake.has(i) && c.bootUntil[i] > now {
+			t.Fatalf("t=%v node %d pooled as awake inside its wake window (until %v)", now, i, c.bootUntil[i])
+		}
+		// Decommission is total: offline ⇔ powered off, and a powered-off
+		// node is neither pooled nor owned.
+		if c.isOffline(i) != (cur.state == energy.Off) {
+			t.Fatalf("t=%v node %d offline=%v but state %v", now, i, c.isOffline(i), cur.state)
+		}
+		if cur.state == energy.Off && (c.pool.contains(i) || c.owner[i] != 0) {
+			t.Fatalf("t=%v node %d is OFF while pooled or owned", now, i)
 		}
 		// Thermal floors stay within the profile's P-state range and
 		// temperatures never undershoot ambient.
@@ -172,6 +208,18 @@ func runInvariantFuzz(t *testing.T, ic invConfig, seed int64) {
 		// Between the all-idle floor and the all-P0 peak: tight enough to
 		// throttle, loose enough that every job is admissible.
 		cfg.PowerCapW = 1600 + rng.Float64()*600
+	}
+	if ic.elastic {
+		// A tight envelope with aggressive timers: constant provisioning
+		// and decommissioning churn, racing boots against allocations,
+		// completions, drains and the sleep ladder.
+		cfg.Elastic = &ElasticConfig{
+			Min:        2 + rng.Intn(4),
+			Interval:   20 * sim.Second,
+			BootBurst:  2 + rng.Intn(3),
+			TargetWait: sim.Time(rng.Intn(3)) * 30 * sim.Second,
+			HoldDown:   60 * sim.Second,
+		}
 	}
 	c := NewController(cl, cfg)
 

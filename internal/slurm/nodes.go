@@ -32,11 +32,17 @@ func (c *Controller) DrainNode(index int) error {
 		}
 	}
 	// A drained node stays powered for maintenance: cancel any armed
-	// sleep timer and wake it if it already dozed off.
-	if c.cfg.Energy != nil {
+	// sleep timer and boot it if it already dozed off. The boot is a real
+	// transition — the node is only usable again bootUntil later, so a
+	// resume inside the window hands the pool a booting node, not an
+	// awake one (allocating it twice under its wake latency was the
+	// mid-boot state hole).
+	if c.cfg.Energy != nil && !c.isOffline(index) {
 		c.sleepGen[index]++
-		if w := c.cfg.Energy.WakeIdle(index); w > 0 {
+		if w := c.cfg.Energy.StartBoot(index); w > 0 {
+			c.bootUntil[index] = c.k.Now() + w
 			c.logNode(EvWake, n, 0)
+			c.scheduleBootDone(n)
 		}
 	}
 	return nil
@@ -54,8 +60,10 @@ func (c *Controller) ResumeNode(index int) error {
 	c.drained[index] = false
 	c.drainedN--
 	// Only re-add to the free pool if no job holds it (it may still be
-	// allocated if it was drained while busy and the job is running).
-	if !c.nodeHeld(n) {
+	// allocated if it was drained while busy and the job is running). A
+	// decommissioned node stays offline: the elastic adapt loop, not the
+	// drain machinery, owns its return to the fleet.
+	if !c.nodeHeld(n) && !c.isOffline(index) {
 		c.drainedUnheld--
 		c.releaseNodes([]*platform.Node{n})
 		c.kick()

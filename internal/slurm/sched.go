@@ -219,6 +219,12 @@ func (c *Controller) schedulePass() {
 	// blocked-class nodes it would actually take, so other-class nodes
 	// backfill freely around a class-constrained holder.
 	shadow, extra := c.reservation(blocked)
+	if c.elastic != nil {
+		// Wake-ahead: every free eligible node is part of the blocked
+		// job's reservation (avail < need, or it would have started), so
+		// pre-boot the sleeping ones to be up exactly at the shadow time.
+		c.wakeAhead(blocked, shadow)
+	}
 	eligTake := func(j *Job, n int) int {
 		if blocked.ReqClass == "" {
 			return n
@@ -342,6 +348,20 @@ func (c *Controller) nodeStartSpeed(nd *platform.Node) float64 {
 	return nd.Power.SpeedAt(ps)
 }
 
+// wakePreview bounds the launch delay an allocation of free node nd
+// would pay right now: the remainder of a transition already in flight
+// (wake-ahead, a provision, or a release inside the wake window), or the
+// latency of the rung/off state the node actually occupies. Pricing the
+// occupied rung instead of a decision-time worst case matters once
+// wake-ahead exists: a pre-booted node's full rung latency would be
+// double-counted — it is already being paid, concurrently, by the clock.
+func (c *Controller) wakePreview(nd *platform.Node) sim.Time {
+	if bu := c.bootUntil[nd.Index]; bu > c.k.Now() {
+		return bu - c.k.Now()
+	}
+	return c.cfg.Energy.WakePreview(nd.Index)
+}
+
 // backfillEnd bounds when a backfill start of j on n free nodes would
 // end: the launch waits for the worst-case wake latency of the nodes it
 // would receive (pickNodes order), and the time limit stretches by the
@@ -353,7 +373,7 @@ func (c *Controller) backfillEnd(j *Job, n int) sim.Time {
 	speed := 1.0
 	for _, nd := range c.pickNodes(j, n) {
 		if c.cfg.Energy != nil {
-			if w := c.cfg.Energy.WakePreview(nd.Index); w > wake {
+			if w := c.wakePreview(nd); w > wake {
 				wake = w
 			}
 		}

@@ -69,6 +69,12 @@ type telState struct {
 	// sleepRung counts descents per S-state, created at first descent.
 	sleepRung []*telemetry.Counter
 
+	// Elastic-fleet instruments, registered only when the elastic
+	// capacity controller is configured: a fixed fleet must export a
+	// byte-identical registry snapshot.
+	fleetNodes           *telemetry.Gauge
+	boots, decommissions *telemetry.Counter
+
 	// passWall is wall-clock and lives in sink.Prof, never in sink.Reg.
 	passWall *telemetry.Histogram
 
@@ -117,6 +123,11 @@ func newTelState(c *Controller, sink *telemetry.Sink) *telState {
 		nodeSince:      make([]sim.Time, len(c.cluster.Nodes)),
 		jobLabel:       make(map[int]string),
 		jobSince:       make(map[int]sim.Time),
+	}
+	if c.cfg.Elastic != nil {
+		t.fleetNodes = reg.Gauge("elastic_fleet_nodes")
+		t.boots = reg.Counter("elastic_boots_total")
+		t.decommissions = reg.Counter("elastic_decommissions_total")
 	}
 	tr := sink.Trace
 	tr.MetaProcess(tracePidSched, "scheduler")

@@ -60,11 +60,68 @@ func DefaultClassMix() ClassMix {
 	}
 }
 
+// ArrivalPattern modulates the Poisson arrival rate over time, turning
+// the flat stream into the diurnal or bursty shapes an elastic fleet is
+// sized against. The zero value is disabled and leaves the generated
+// stream byte-identical to earlier seeds: modulation rescales the same
+// exponential draw, consuming no extra RNG values.
+type ArrivalPattern struct {
+	// Period is the cycle length (0 disables modulation).
+	Period sim.Time
+	// Trough is the rate multiplier at the quietest point of the cycle,
+	// relative to the peak rate 1/MeanArrival. Clamped to [0.01, 1]: a
+	// zero trough would stall the stream forever.
+	Trough float64
+	// Duty selects the waveform. 0 (the default) is a raised cosine —
+	// the smooth day/night swing. In (0, 1] it is a square wave: the
+	// rate holds at peak for Duty of each cycle and at Trough for the
+	// rest — the bursty shape (synchronized submission storms).
+	Duty float64
+}
+
+func (a ArrivalPattern) enabled() bool { return a.Period > 0 }
+
+// rateAt returns the rate multiplier at absolute time t.
+func (a ArrivalPattern) rateAt(t sim.Time) float64 {
+	trough := a.Trough
+	if trough < 0.01 {
+		trough = 0.01
+	}
+	if trough > 1 {
+		trough = 1
+	}
+	phase := float64(t%a.Period) / float64(a.Period)
+	if a.Duty > 0 {
+		if phase < a.Duty {
+			return 1
+		}
+		return trough
+	}
+	return trough + (1-trough)*(0.5-0.5*math.Cos(2*math.Pi*phase))
+}
+
+// Diurnal is a smooth day/night arrival swing: each cycle opens in the
+// overnight lull (rate trough×peak at t=0), builds to the midday peak
+// half a period in, and falls back.
+func Diurnal(period sim.Time, trough float64) ArrivalPattern {
+	return ArrivalPattern{Period: period, Trough: trough}
+}
+
+// Bursty is a submission-storm pattern: every period opens with a burst
+// at the peak rate lasting duty of the cycle, then the stream idles at
+// trough×peak.
+func Bursty(period sim.Time, duty, trough float64) ArrivalPattern {
+	return ArrivalPattern{Period: period, Trough: trough, Duty: duty}
+}
+
 // Params tunes the generator.
 type Params struct {
 	Jobs        int
 	MaxNodes    int      // job-size cap ("job size" parameter)
 	MeanArrival sim.Time // Poisson inter-arrival mean ("arrival")
+	// Arrival modulates the Poisson rate over time (zero: flat stream,
+	// byte-identical to earlier seeds).
+	Arrival ArrivalPattern
 	Iterations  int      // app iterations, bounds the per-step runtime
 	MaxStepTime sim.Time // cap on runtime/iterations (§VIII-A: 60 s)
 	MeanRuntime sim.Time // base of the hyperexponential runtime
@@ -169,8 +226,20 @@ func Generate(p Params) []Spec {
 	specs := make([]Spec, 0, p.Jobs)
 	var at sim.Time
 	classIdx := 0
+	// step advances the arrival clock by one exponential gap. With a
+	// pattern attached the same draw is rescaled by the instantaneous
+	// rate (time-rescaled nonhomogeneous Poisson, rate held over the
+	// gap); disabled, the expression below is the historical one, bit
+	// for bit, and RNG consumption is identical either way.
+	step := func() {
+		dt := rng.ExpFloat64() * float64(p.MeanArrival)
+		if p.Arrival.enabled() {
+			dt /= p.Arrival.rateAt(at)
+		}
+		at += sim.Time(dt)
+	}
 	for len(specs) < p.Jobs {
-		at += sim.Time(rng.ExpFloat64() * float64(p.MeanArrival))
+		step()
 		class := p.Classes[classIdx%len(p.Classes)]
 		if len(p.Classes) > 1 {
 			class = p.Classes[rng.Intn(len(p.Classes))]
@@ -211,7 +280,7 @@ func Generate(p Params) []Spec {
 		}
 		for rep := 0; rep < repeats && len(specs) < p.Jobs; rep++ {
 			if rep > 0 {
-				at += sim.Time(rng.ExpFloat64() * float64(p.MeanArrival))
+				step()
 			}
 			specs = append(specs, Spec{
 				Index:     len(specs),
