@@ -7,7 +7,7 @@
 //	       [-period s] [-seed N] [-trace] [-events]
 //	       [-energy] [-sleep s] [-energypolicy] [-powercap W]
 //	       [-fastnodes N] [-classaware] [-thermal] [-ladder]
-//	       [-elastic min:max]
+//	       [-elastic min:max] [-mtbf s] [-mttr s] [-bootfail p] [-ckpt N]
 //	       [-tracefile f.json] [-metricsfile f.prom] [-pprof f] [-rtrace f]
 //
 // Observability: -tracefile writes a Chrome trace-event JSON of the run
@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -93,6 +94,10 @@ func main() {
 	thermal := flag.Bool("thermal", false, "thermal envelopes: sustained load forces DVFS throttling (implies -energy)")
 	ladder := flag.Bool("ladder", false, "idle S-state ladder: 9 W suspend after 120 s idle, 4 W deep state after 600 s (implies -energy)")
 	elastic := flag.String("elastic", "", "elastic fleet envelope min:max — provision/power off nodes against queue pressure (implies -energy; max empty or 0: whole cluster)")
+	mtbf := flag.Float64("mtbf", 0, "per-node mean time between failures in seconds: inject deterministic crashes (implies -energy; 0 disables)")
+	mttr := flag.Float64("mttr", 0, "mean time to repair a crashed node in seconds (0: one hour)")
+	bootFailP := flag.Float64("bootfail", 0, "probability an elastic provision boot fails (use with -elastic)")
+	ckpt := flag.Int("ckpt", 0, "periodic application checkpoint every N iterations: a crash-requeued job resumes from its last checkpoint (0 disables)")
 	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON of the run (Perfetto-loadable)")
 	metricsFile := flag.String("metricsfile", "", "write a telemetry registry snapshot (Prometheus text, or CSV when the path ends in .csv)")
 	pprofFile := flag.String("pprof", "", "write a host CPU profile of the simulator run (go tool pprof)")
@@ -154,6 +159,16 @@ func main() {
 		}
 		cfg.Elastic = el
 	}
+	if *mtbf > 0 || *bootFailP > 0 {
+		cfg.Faults = &faults.Config{
+			MTBF:      sim.Seconds(*mtbf),
+			MTTR:      sim.Seconds(*mttr),
+			BootFailP: *bootFailP,
+			Seed:      *seed,
+		}
+		cfg.Energy = true
+	}
+	cfg.CkptEvery = *ckpt
 	if *fastNodes >= 0 {
 		total := cfg.Nodes
 		if total == 0 {
@@ -246,6 +261,14 @@ func main() {
 		fmt.Printf("  node boots:           %10d\n", boots)
 		fmt.Printf("  node decommissions:   %10d\n", decomms)
 		fmt.Printf("  p95 waiting time:     %10.0f s\n", res.P95Wait.Seconds())
+	}
+	if cfg.Faults != nil {
+		fs := sys.Ctl.FaultStats()
+		fmt.Printf("  node failures:        %10d\n", fs.Failures)
+		fmt.Printf("  job requeues:         %10d\n", fs.Requeues)
+		fmt.Printf("  shrink recoveries:    %10d\n", fs.Shrinks)
+		fmt.Printf("  boot failures:        %10d\n", fs.BootFails)
+		fmt.Printf("  lost work:            %10.0f s\n", fs.LostWorkS)
 	}
 	if *thermal {
 		thermSec := 0.0

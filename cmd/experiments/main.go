@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet|scale|thermal|telemetry|elastic] [-quick] [-seed N]
+//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet|scale|thermal|telemetry|elastic|faults] [-quick] [-seed N]
 //
 // The energy experiment compares total cluster energy for rigid,
 // malleable (Algorithm 1) and energy-aware-policy runs of the same
@@ -35,6 +35,15 @@
 // loop's wait target. It reports total energy and the p95 queue wait —
 // boot latency lands on the tail, so the average alone would hide the
 // cost side of the trade — plus the fleet churn (boots/decommissions).
+//
+// The faults experiment sweeps a deterministic node-failure model
+// (per-node MTBF, exponential repairs) over three recovery regimes of
+// the same seeded workload: rigid jobs requeued from scratch, rigid
+// jobs resuming from periodic PFS checkpoints, and malleable jobs that
+// shrink onto the surviving nodes at the next reconfiguring point. The
+// injector's RNG stream is independent of the workload generator's, so
+// all regimes face the identical failure schedule; the table reports
+// makespan, energy, requeue churn and lost work per regime.
 //
 // The telemetry experiment runs the realistic flexible workload with
 // the deterministic telemetry sink attached and prints the scheduler's
@@ -179,6 +188,12 @@ func main() {
 		fmt.Print(experiments.FormatElastic(rows))
 		fmt.Println()
 		writeElasticOutputs(rows)
+	})
+	run("faults", func() {
+		rows := experiments.Faults(experiments.FaultJobs, experiments.FaultMTBFs, *seed)
+		fmt.Print(experiments.FormatFaults(rows))
+		fmt.Println()
+		writeFaultsOutputs(rows)
 	})
 	run("telemetry", func() {
 		jobs := 50
@@ -502,6 +517,17 @@ func writeElasticOutputs(rows []experiments.ElasticRow) {
 	}
 	writeFile(filepath.Join(*csvDir, "elastic_summary.csv"), func(f *os.File) error {
 		return experiments.WriteElasticSummaryCSV(f, rows)
+	})
+}
+
+// writeFaultsOutputs dumps the fault study's summary CSV (the
+// golden-pinned artifact) when requested.
+func writeFaultsOutputs(rows []experiments.FaultRow) {
+	if *csvDir == "" {
+		return
+	}
+	writeFile(filepath.Join(*csvDir, "faults_summary.csv"), func(f *os.File) error {
+		return experiments.WriteFaultsSummaryCSV(f, rows)
 	})
 }
 

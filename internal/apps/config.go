@@ -83,10 +83,30 @@ type Config struct {
 	// in-memory redistribution is the default (false).
 	CRTransfer bool
 
+	// CkptEvery writes a periodic application checkpoint through the PFS
+	// every this many iterations (0 disables). Under a fault model a
+	// crash-requeued restart then resumes from the last completed
+	// checkpoint instead of iteration zero.
+	CkptEvery int
+
+	// Recovery, when set, carries checkpoint progress across
+	// incarnations of the same job (the submission layer passes one
+	// instance per job; it outlives crash requeues).
+	Recovery *RecoveryState
+
 	// Final, when set, runs on every rank after the last iteration,
 	// before completion is reported (used by tests and examples to
 	// collect results).
 	Final func(w *nanos.Worker, s Chunk)
+}
+
+// RecoveryState threads checkpoint progress across incarnations of a
+// crash-requeued job: Iter is the iteration the last completed periodic
+// checkpoint protects, valid once HasCkpt is true. Rank 0 of the running
+// incarnation updates it; a fresh restart reads it.
+type RecoveryState struct {
+	Iter    int
+	HasCkpt bool
 }
 
 // Request returns the DMR request the application presents at each

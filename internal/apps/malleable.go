@@ -47,6 +47,7 @@ const dataTag = 101
 // offloaded iteration.
 func Run(w *nanos.Worker, cfg Config, app App) {
 	var state Chunk
+	t := w.StartIter()
 	if w.InitData() != nil {
 		state = w.InitData().(Chunk)
 		if cfg.CRTransfer {
@@ -57,14 +58,33 @@ func Run(w *nanos.Worker, cfg Config, app App) {
 		}
 	} else {
 		state = app.Init(w, cfg)
+		if cfg.Recovery != nil && cfg.Recovery.HasCkpt && cfg.Recovery.Iter > t {
+			// Crash-requeued restart under a checkpoint policy: resume
+			// from the last periodic checkpoint instead of iteration
+			// zero, paying the (contended) PFS read back.
+			cp := checkpoint.New(w.R.Comm().Cluster())
+			cp.Read(w.R.Proc(), state.WireBytes())
+			t = cfg.Recovery.Iter
+		}
 	}
 	req := cfg.Request()
 	batch := cfg.StepsPerCheck
 	if batch < 1 {
 		batch = 1
 	}
+	// redoIter/batchT0 track the batch in flight: a crash surfaces at the
+	// next reconfiguring point, so the interrupted batch is redone on the
+	// survivors and charged as lost work. batchT0 < 0 means no batch has
+	// run yet this incarnation (a crash before the first batch loses
+	// nothing).
+	redoIter := t
+	batchT0 := -sim.Second // any negative value: no batch yet
+	lastCkpt := t
 
-	for t := w.StartIter(); t < cfg.Iterations; {
+	for t < cfg.Iterations {
+		if w.Abandoned() {
+			return // crash-requeued: a fresh incarnation owns the job now
+		}
 		if cfg.Malleable {
 			var action slurm.Action
 			var h *nanos.Handler
@@ -74,15 +94,38 @@ func Run(w *nanos.Worker, cfg Config, app App) {
 				action, h = w.CheckStatus(req)
 			}
 			if action != slurm.NoAction {
+				if h.Recovery {
+					// Shrink to the survivors: each surviving rank hands
+					// its own chunk to its successor on the same node
+					// (zero wire traffic); the interrupted batch is
+					// redone, and rank 0 charges it as lost work. Dead
+					// ranks offload nothing and just unwind.
+					it := t
+					if batchT0 >= 0 {
+						it = redoIter
+						if w.R.Rank() == 0 {
+							w.NoteLostWork((w.R.Now() - batchT0).Seconds())
+						}
+					}
+					if idx := h.SurvivorIndex(w.R.Rank()); idx >= 0 {
+						w.Offload(idx, state, 0, it)
+					}
+					w.Taskwait()
+					return
+				}
 				redistribute(w, h, action, state, t, cfg.CRTransfer)
 				w.Taskwait()
 				return
+			}
+			if w.Abandoned() {
+				return // the check verdict requeued the job (too few survivors)
 			}
 		}
 		b := batch
 		if t+b > cfg.Iterations {
 			b = cfg.Iterations - t
 		}
+		redoIter, batchT0 = t, w.R.Now()
 		if cfg.RealCompute {
 			for i := 0; i < b; i++ {
 				app.Step(w, cfg, state, t+i)
@@ -97,6 +140,29 @@ func Run(w *nanos.Worker, cfg Config, app App) {
 		}
 		w.R.Proc().Sleep(sim.Time(b) * step)
 		t += b
+		if cfg.CkptEvery > 0 && t < cfg.Iterations && t-lastCkpt >= cfg.CkptEvery {
+			if w.Abandoned() {
+				return
+			}
+			// Periodic application checkpoint: every rank writes its
+			// share through the PFS; once written, the job is protected
+			// to iteration t against a later crash-requeue. A crash
+			// during the write leaves the checkpoint incomplete, so the
+			// protection only advances if the incarnation is still live.
+			cp := checkpoint.New(w.R.Comm().Cluster())
+			cp.Write(w.R.Proc(), state.WireBytes())
+			if w.R.Rank() == 0 && !w.Abandoned() {
+				w.MarkProtected()
+				if cfg.Recovery != nil {
+					cfg.Recovery.Iter = t
+					cfg.Recovery.HasCkpt = true
+				}
+			}
+			lastCkpt = t
+		}
+	}
+	if w.Abandoned() {
+		return
 	}
 	if cfg.Final != nil {
 		cfg.Final(w, state)

@@ -96,6 +96,78 @@ func TestEstimateFullResizeMatchesSimulatedPhases(t *testing.T) {
 	}
 }
 
+// The analytic estimate against the fully simulated flow: real writer
+// processes, the requeue delay, the spawn-cost launch, real reader
+// processes. With both phases inside one PFS wave (p ≤ slots) every
+// stream holds a slot immediately, so the simulated cycle must land on
+// EstimateFullResize exactly — any drift means the estimate and the
+// machinery it cross-checks have diverged.
+func TestEstimateFullResizeMatchesSimulatedCycle(t *testing.T) {
+	cl := testCluster()
+	cp := New(cl)
+	const total = int64(800e6)
+	oldP, newP := 4, 2 // both within the 4 PFS slots: one wave per phase
+	requeue := 3 * sim.Second
+
+	var cycleEnd sim.Time
+	writersLeft := oldP
+	readers := func() {
+		readersLeft := newP
+		for i := 0; i < newP; i++ {
+			cl.K.Spawn(fmt.Sprintf("r%d", i), func(p *sim.Proc) {
+				cp.Read(p, total/int64(newP))
+				if readersLeft--; readersLeft == 0 {
+					cycleEnd = p.Now()
+				}
+			})
+		}
+	}
+	for i := 0; i < oldP; i++ {
+		cl.K.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			cp.Write(p, total/int64(oldP))
+			if writersLeft--; writersLeft != 0 {
+				return
+			}
+			// Last writer done: the job requeues, is rescheduled, and the
+			// new set launches before any rank touches the PFS again.
+			launch := cl.Cfg.SpawnBase + cl.Cfg.SpawnPerProc*sim.Time(newP)
+			cl.K.At(p.Now()+requeue+launch, readers)
+		})
+	}
+	cl.K.Run()
+	if want := cp.EstimateFullResize(total, oldP, newP, requeue); cycleEnd != want {
+		t.Fatalf("simulated write→requeue→launch→read cycle %v, estimate %v", cycleEnd, want)
+	}
+}
+
+// More writer streams than PFS slots: the surplus queues a full wave,
+// and the analytic phase time prices exactly that serialization.
+func TestPhaseContentionBeyondSlots(t *testing.T) {
+	cl := testCluster()
+	cp := New(cl)
+	const total = int64(600e6)
+	p := cl.Cfg.PFSConcurrent + 2 // 6 streams over 4 slots → 2 waves
+	var first, last sim.Time
+	for i := 0; i < p; i++ {
+		cl.K.Spawn(fmt.Sprintf("w%d", i), func(pr *sim.Proc) {
+			cp.Write(pr, total/int64(p))
+			if first == 0 || pr.Now() < first {
+				first = pr.Now()
+			}
+			if pr.Now() > last {
+				last = pr.Now()
+			}
+		})
+	}
+	cl.K.Run()
+	if want := cp.phaseTime(total, p); last != want {
+		t.Fatalf("contended write phase %v, analytic %v", last, want)
+	}
+	if last != 2*first {
+		t.Fatalf("queued wave finished at %v, want exactly two waves of %v", last, first)
+	}
+}
+
 func TestCRMuchSlowerThanNetworkRedistribution(t *testing.T) {
 	// The Figure 1 premise: moving state through the PFS costs orders of
 	// magnitude more than in-memory redistribution over the interconnect.

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/nanos"
 	"repro/internal/platform"
@@ -105,6 +106,18 @@ type Config struct {
 	// reservations pre-boot the blocked job's nodes ahead of the
 	// reservation start.
 	Elastic *slurm.ElasticConfig
+	// Faults attaches the deterministic fault injector (implies Energy):
+	// seeded node crashes from an MTBF/Weibull model with repair delays,
+	// and boot failures for elastic provisioning. A crashed node's rigid
+	// job is requeued (restarting from scratch, or from its last periodic
+	// checkpoint when CkptEvery is set); a malleable job shrinks to its
+	// survivors and continues. Nil — or a config with the model disabled —
+	// leaves every RNG stream and golden byte-identical.
+	Faults *faults.Config
+	// CkptEvery writes periodic application checkpoints through the PFS
+	// every this many iterations (0 disables), bounding the work a
+	// crash-requeued rigid job loses.
+	CkptEvery int
 	// Telemetry, when non-nil, wires the deterministic telemetry sink
 	// through the controller and accountant: sim-time trace spans,
 	// the metrics registry, and wall-clock profiling. Nil disables every
@@ -194,8 +207,9 @@ func NewSystem(cfg Config) *System {
 	}
 	var acct *energy.Accountant
 	rec := &metrics.Recorder{}
-	if cfg.PowerCapW > 0 || cfg.Thermal || len(cfg.SleepLadder) > 0 || cfg.Elastic != nil {
-		cfg.Energy = true // all four run on the accountant's meters
+	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled()
+	if cfg.PowerCapW > 0 || cfg.Thermal || len(cfg.SleepLadder) > 0 || cfg.Elastic != nil || faultsOn {
+		cfg.Energy = true // all five run on the accountant's meters
 	}
 	if cfg.Energy {
 		acct = energy.New(cl.K, cl.PowerProfiles())
@@ -215,6 +229,9 @@ func NewSystem(cfg Config) *System {
 		scfg.SleepLadder = cfg.SleepLadder
 		scfg.PowerCapW = cfg.PowerCapW
 		scfg.Elastic = cfg.Elastic
+		if faultsOn {
+			scfg.Faults = faults.New(*cfg.Faults)
+		}
 	}
 	ctl := slurm.NewController(cl, scfg)
 	rec.Attach(ctl)
@@ -259,6 +276,7 @@ func (s *System) AppConfig(spec workload.Spec) apps.Config {
 	cfg.UseAsync = s.Cfg.Async
 	cfg.Malleable = spec.Flexible && s.Cfg.Policy
 	cfg.CRTransfer = s.Cfg.CRTransfer
+	cfg.CkptEvery = s.Cfg.CkptEvery
 	return cfg
 }
 
@@ -328,7 +346,12 @@ func (s *System) Submit(spec workload.Spec) *slurm.Job {
 		SchedPeriod:   cfg.SchedPeriod,
 		Async:         s.Cfg.Async,
 		ExpandTimeout: 10 * sim.Second,
+		FaultAware:    cfg.Malleable,
 	}
+	// One RecoveryState per job, captured by the Launch closure: it
+	// outlives crash requeues, so a restarted incarnation resumes from
+	// the last periodic checkpoint the previous one completed.
+	cfg.Recovery = &apps.RecoveryState{}
 	j.Launch = func(j *slurm.Job, _ []*platform.Node) {
 		nanos.Launch(s.Ctl, j, rcfg, func(w *nanos.Worker) {
 			apps.Run(w, cfg, app)

@@ -15,13 +15,16 @@ type NodeState int
 // to service. Booting covers both a full boot from Off and a wake
 // transition started ahead of an allocation (wake-ahead): the node
 // already draws boot power but cannot run work until the transition
-// completes.
+// completes. Failed is a crashed node awaiting repair: dead hardware at
+// residual draw, unable to run work or sleep until FinishRepair brings
+// it back to idle.
 const (
 	Idle NodeState = iota
 	Active
 	Sleeping
 	Off
 	Booting
+	Failed
 )
 
 func (s NodeState) String() string {
@@ -36,6 +39,8 @@ func (s NodeState) String() string {
 		return "OFF"
 	case Booting:
 		return "BOOTING"
+	case Failed:
+		return "FAILED"
 	}
 	return "?"
 }
@@ -347,6 +352,52 @@ func (a *Accountant) ReleaseBooting(i int) {
 	m.state = Booting
 	m.jobID = 0
 	a.setDraw(i, m.profile.ActiveW(0))
+	a.armThermal(i)
+}
+
+// NodeFail crashes node i: whatever powered state it was in (idle,
+// active, sleeping, mid-boot), the hardware is now dead at the residual
+// off draw, attributed to nobody, until FinishRepair. No-op for nodes
+// already off or failed — unpowered hardware has nothing left to crash.
+func (a *Accountant) NodeFail(i int) {
+	m := &a.nodes[i]
+	if m.state == Off || m.state == Failed {
+		return
+	}
+	a.advance(i)
+	m.state = Failed
+	m.jobID = 0
+	a.setDraw(i, m.profile.OffW)
+	a.armThermal(i)
+}
+
+// FinishRepair completes node i's repair: the node comes back powered-on
+// idle (the repair action includes the reboot). No-op unless failed.
+func (a *Accountant) FinishRepair(i int) {
+	m := &a.nodes[i]
+	if m.state != Failed {
+		return
+	}
+	a.advance(i)
+	m.state = Idle
+	m.jobID = 0
+	a.setDraw(i, m.profile.IdleW)
+	a.armThermal(i)
+}
+
+// AbortBoot cancels an in-flight boot whose hardware failed to come up
+// (an elastic provision strike): the node drops straight back to off.
+// Unlike NodeFail this is not a crash — the node was never in service —
+// so it stays schedulable for a later retry. No-op unless mid-boot.
+func (a *Accountant) AbortBoot(i int) {
+	m := &a.nodes[i]
+	if m.state != Booting {
+		return
+	}
+	a.advance(i)
+	m.state = Off
+	m.jobID = 0
+	a.setDraw(i, m.profile.OffW)
 	a.armThermal(i)
 }
 

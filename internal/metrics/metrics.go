@@ -88,9 +88,9 @@ func (tr *Trace) At(t sim.Time) Sample {
 
 // WorkloadResult aggregates one workload execution.
 type WorkloadResult struct {
-	Jobs          int
-	Makespan      sim.Time
-	AvgWait       sim.Time
+	Jobs     int
+	Makespan sim.Time
+	AvgWait  sim.Time
 	// P95Wait is the 95th-percentile job queue wait (nearest-rank over
 	// the submitted jobs). Averages hide exactly the tail an elastic
 	// fleet trades energy against, so the capacity experiments report

@@ -41,6 +41,13 @@ type Config struct {
 	// ExpandTimeout bounds the wait for a resizer job to start before
 	// the expansion is aborted (§V-B1).
 	ExpandTimeout sim.Time
+	// FaultAware registers the runtime as the job's failure handler: a
+	// node crash is surfaced at the next reconfiguring point, where the
+	// job shrinks to its survivors (or asks for a requeue when too few
+	// remain) instead of being killed on the spot by the controller.
+	// Only meaningful for malleable applications — a rigid job has no
+	// reconfiguring points to recover at.
+	FaultAware bool
 }
 
 // DefaultConfig returns the runtime defaults used by the experiments.
@@ -81,6 +88,25 @@ type Handler struct {
 	Action  slurm.Action
 	NewSize int
 	IC      *mpi.Intercomm
+
+	// Recovery marks a shrink-to-survive failure recovery: the
+	// controller already spliced the dead nodes out of the allocation
+	// (no ShrinkJob ACK dance), the new set lives on the survivors'
+	// own nodes, and Survivors lists the old ranks that made it, in
+	// rank order — survivor i becomes new-set rank i on the same node.
+	Recovery  bool
+	Survivors []int
+}
+
+// SurvivorIndex returns oldRank's rank in the recovery successor set, or
+// -1 when oldRank's node crashed (the rank is dead and offloads nothing).
+func (h *Handler) SurvivorIndex(oldRank int) int {
+	for i, r := range h.Survivors {
+		if r == oldRank {
+			return i
+		}
+	}
+	return -1
 }
 
 // Stats counts runtime activity for the evaluation.
@@ -91,6 +117,7 @@ type Stats struct {
 	Expands      int
 	Shrinks      int
 	ExpandAborts int // resizer-job timeouts (§V-B1)
+	Recoveries   int // shrink-to-survive failure recoveries
 }
 
 // generation is one process set of the job (the sets succeed each other
@@ -129,8 +156,27 @@ type Runtime struct {
 	// DMR calls are answered with no-action.
 	resizing bool
 
+	// incarnation is the job's Requeues count at Launch. A node crash on
+	// a job without a failure handler requeues it on the spot; the old
+	// process generations keep running in the simulator but belong to a
+	// dead incarnation — stale() gates every side effect they could
+	// have on the job's fresh Runtime.
+	incarnation int
+
+	// failedNodes accumulates the crashes OnNodeFail reported, in crash
+	// order. Recovery consumes the entries belonging to the current
+	// communicator; rank 0's snapshot at the reconfiguring point is
+	// authoritative (the verdict rides the existing check broadcast, so
+	// every rank acts on the same view regardless of how the crash
+	// interleaved with their lockstep).
+	failedNodes []*platform.Node
+
 	Stats Stats
 }
+
+// stale reports whether this Runtime belongs to a requeued-away
+// incarnation of the job.
+func (rt *Runtime) stale() bool { return rt.job.Requeues != rt.incarnation }
 
 // Launch starts job j's application as a malleable process set over its
 // allocation. It is meant to be called from the job's LaunchFunc (kernel
@@ -139,7 +185,12 @@ func Launch(ctl *slurm.Controller, j *slurm.Job, cfg Config, appMain func(w *Wor
 	if cfg.ExpandTimeout == 0 {
 		cfg.ExpandTimeout = DefaultConfig().ExpandTimeout
 	}
-	rt := &Runtime{ctl: ctl, job: j, cfg: cfg, appMain: appMain}
+	rt := &Runtime{ctl: ctl, job: j, cfg: cfg, appMain: appMain, incarnation: j.Requeues}
+	if cfg.FaultAware {
+		j.OnNodeFail = func(_ *slurm.Job, n *platform.Node) {
+			rt.failedNodes = append(rt.failedNodes, n)
+		}
+	}
 	comm := mpi.NewWorld(ctl.Cluster(), j.Alloc())
 	rt.startGeneration(comm, nil)
 	return rt
@@ -170,6 +221,12 @@ func (rt *Runtime) runRank(r *mpi.Rank, gen *generation) {
 		w.initData = task.Data
 	}
 	rt.appMain(w)
+	if rt.stale() {
+		// The job was requeued out from under this generation: a fresh
+		// Runtime owns it now and this set's completion accounting is
+		// void (firing JobComplete here would hit the new incarnation).
+		return
+	}
 	if w.offloaded {
 		gen.offloaded++
 		if gen.offloaded+gen.finished > gen.size {
@@ -208,7 +265,7 @@ func (rt *Runtime) takeAsync(p *sim.Proc, req Request) slurm.Decision {
 		rt.Stats.RPCs++
 		k.Spawn(fmt.Sprintf("%s-dmr-async", rt.job.Name), func(ap *sim.Proc) {
 			ap.Sleep(rpc)
-			if rt.job.State != slurm.StateRunning {
+			if rt.stale() || rt.job.State != slurm.StateRunning {
 				return
 			}
 			slot.dec = rt.ctl.ReconfigRPC(ap, rt.job, req.toSlurm())

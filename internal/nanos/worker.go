@@ -37,6 +37,33 @@ func (w *Worker) Spawned() bool { return w.R.Comm().Parent() != nil }
 // Runtime returns the job-wide runtime instance.
 func (w *Worker) Runtime() *Runtime { return w.rt }
 
+// Abandoned reports whether this process set belongs to a requeued-away
+// incarnation of the job (a node crash killed the job back to the queue).
+// Application loops bail out when it turns true: the simulator cannot
+// kill their processes, so they unwind themselves, and the runtime voids
+// their completion accounting.
+func (w *Worker) Abandoned() bool { return w.rt.stale() }
+
+// NoteLostWork charges seconds of redone computation to the job's fault
+// accounting (rank 0 calls it once per recovery). No-op for abandoned
+// incarnations.
+func (w *Worker) NoteLostWork(seconds float64) {
+	if w.rt.stale() {
+		return
+	}
+	w.rt.ctl.NoteLostWork(w.rt.job, seconds)
+}
+
+// MarkProtected records a completed application checkpoint with the
+// controller: a later crash-requeue only loses work back to this point.
+// No-op for abandoned incarnations.
+func (w *Worker) MarkProtected() {
+	if w.rt.stale() {
+		return
+	}
+	w.rt.ctl.MarkProtected(w.rt.job)
+}
+
 // SpeedFactor returns the slowest current execution speed across the
 // process set's nodes, the factor step loops divide compute time by.
 // With energy accounting attached this is the live DVFS speed — a node
@@ -95,10 +122,19 @@ func (rt *Runtime) decideAndPrepare(w *Worker, req Request, async bool) *checkRe
 	p := w.R.Proc()
 	now := p.Now()
 	rt.Stats.Checks++
+	if rt.stale() {
+		return &checkResult{action: slurm.NoAction}
+	}
 	if rt.resizing {
 		// A previous reconfiguration has not fully landed in the RMS
 		// yet (shrink release pending): ignore the call.
 		return &checkResult{action: slurm.NoAction}
+	}
+	// Failure recovery preempts voluntary resizing and is never
+	// inhibited: a crash must be dealt with at the first reconfiguring
+	// point that sees it.
+	if failed := rt.syncFailed(w.R.Comm()); len(failed) > 0 {
+		return rt.prepareRecovery(w, failed, req)
 	}
 	if rt.cfg.SchedPeriod > 0 && rt.checkedOnce && now-rt.lastCheck < rt.cfg.SchedPeriod {
 		rt.Stats.Inhibited++
@@ -146,6 +182,75 @@ func (rt *Runtime) decideAndPrepare(w *Worker, req Request, async bool) *checkRe
 	return &checkResult{action: slurm.NoAction}
 }
 
+// syncFailed drops crash reports that no longer concern the current
+// process set (the node was voluntarily released before this check saw
+// the report) and returns the ones that do. Rank 0's view at this moment
+// is authoritative: the verdict reaches every rank through the check
+// broadcast, so a crash racing the lockstep is simply picked up at the
+// next reconfiguring point.
+func (rt *Runtime) syncFailed(comm *mpi.Comm) []*platform.Node {
+	if len(rt.failedNodes) == 0 {
+		return nil
+	}
+	kept := rt.failedNodes[:0]
+	for _, n := range rt.failedNodes {
+		for _, cn := range comm.Nodes() {
+			if cn == n {
+				kept = append(kept, n)
+				break
+			}
+		}
+	}
+	rt.failedNodes = kept
+	return rt.failedNodes
+}
+
+// prepareRecovery runs at rank 0 when the check finds crashed nodes in
+// the current process set: shrink to the survivors when enough remain
+// (the controller splices the dead nodes out of the allocation and the
+// new set spawns on the survivors' own nodes), otherwise give the job
+// back to the queue. In the real system this coordination rides the RMS
+// control network; here it rides the check broadcast that already
+// synchronizes the set.
+func (rt *Runtime) prepareRecovery(w *Worker, failed []*platform.Node, req Request) *checkResult {
+	comm := w.R.Comm()
+	survivors := make([]int, 0, comm.Size())
+	for r := 0; r < comm.Size(); r++ {
+		dead := false
+		for _, f := range failed {
+			if comm.Node(r) == f {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			survivors = append(survivors, r)
+		}
+	}
+	min := req.Min
+	if min < 1 {
+		min = 1
+	}
+	if len(survivors) < min {
+		// Too few survivors to carry on. The requeue bumps the job's
+		// incarnation, so this whole set (and its verdict) goes stale
+		// and unwinds without touching the fresh restart.
+		rt.ctl.RequeueFailed(rt.job)
+		return &checkResult{action: slurm.NoAction}
+	}
+	nodes := make([]*platform.Node, len(survivors))
+	for i, r := range survivors {
+		nodes[i] = comm.Node(r)
+	}
+	rt.ctl.CollectFailed(rt.job)
+	rt.failedNodes = rt.failedNodes[:0]
+	rt.Stats.Recoveries++
+	h := rt.spawnNewSet(w, slurm.Shrink, len(survivors), nodes)
+	h.Recovery = true
+	h.Survivors = survivors
+	return &checkResult{action: slurm.Shrink, handler: h}
+}
+
 // Offload queues one task for new-set rank dest: the OmpSs
 // "#pragma omp task inout(data) onto(handler, dest)". bytes models the
 // wire size of the block.
@@ -167,13 +272,18 @@ func (w *Worker) Taskwait() {
 	w.R.Waitall(w.pending)
 	w.pending = nil
 	h := w.handler
-	if h != nil && h.Action == slurm.Shrink {
+	if h != nil && h.Action == slurm.Shrink && !h.Recovery {
+		// Recovery shrinks skip the dance: the controller already
+		// spliced the dead nodes out when the verdict was prepared, and
+		// the dead ranks have nothing to acknowledge with.
 		if w.R.Rank() == 0 {
 			for i := 1; i < w.R.Size(); i++ {
 				w.R.Recv(mpi.AnySource, AckTag)
 			}
 			w.R.Proc().Sleep(w.rt.ctl.Cluster().Cfg.RPCLatency)
-			w.rt.ctl.ShrinkJob(w.rt.job, h.NewSize)
+			if !w.rt.stale() {
+				w.rt.ctl.ShrinkJob(w.rt.job, h.NewSize)
+			}
 			w.rt.resizing = false
 		} else {
 			w.R.Send(0, AckTag, nil, 0)

@@ -41,6 +41,11 @@ type JobRecord struct {
 	// MinClassSpeed is the slowest machine-class P0 speed among the
 	// nodes the job ever held (1 when it only ran on reference nodes).
 	MinClassSpeed float64
+	// Requeues counts rigid fault recoveries (the job was killed back to
+	// the queue by a node crash); LostWorkS is the node-set seconds of
+	// work failures made it redo. Zero without a fault model.
+	Requeues  int
+	LostWorkS float64
 }
 
 // Accounting returns the records of all terminated jobs, ordered by ID.
@@ -63,6 +68,8 @@ func (c *Controller) Accounting() []JobRecord {
 			Flexible:      j.Flexible,
 			ThrottledSec:  j.ThrottledSec,
 			MinClassSpeed: j.MinClassSpeed(),
+			Requeues:      j.Requeues,
+			LostWorkS:     j.LostWorkS,
 		}
 		if j.ReqClass != "" {
 			rec.ClassDemand = j.ReqClass
@@ -96,10 +103,13 @@ func (c *Controller) thermalEnabled() bool {
 }
 
 // WriteAccountingCSV dumps the accounting records as CSV. Clusters with
-// a thermal envelope gain a trailing thermal_throttled_s column.
+// a thermal envelope gain a trailing thermal_throttled_s column; ones
+// with a fault model gain requeues and lost_work_s (fault-free pipelines
+// stay byte-identical).
 func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	thermal := c.thermalEnabled()
+	faulty := c.cfg.Faults != nil
 	header := []string{
 		"id", "name", "state", "req_nodes", "submit_s", "start_s", "end_s",
 		"wait_s", "exec_s", "completion_s", "resizes", "node_seconds", "flexible",
@@ -107,6 +117,9 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 	}
 	if thermal {
 		header = append(header, "thermal_throttled_s")
+	}
+	if faulty {
+		header = append(header, "requeues", "lost_work_s")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -124,6 +137,9 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 		}
 		if thermal {
 			rec = append(rec, fmt.Sprintf("%.1f", r.ThermalThrottledSec))
+		}
+		if faulty {
+			rec = append(rec, fmt.Sprint(r.Requeues), fmt.Sprintf("%.1f", r.LostWorkS))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -78,6 +78,14 @@ type Config struct {
 	// on provision, and EASY reservations pre-boot the blocked job's
 	// sleeping nodes (wake-ahead). Requires Energy.
 	Elastic *ElasticConfig
+	// Faults, when non-nil, attaches the fault-injection model: per-node
+	// crash chains drawn from the model's MTBF distribution, repairs
+	// after its MTTR, and (under Elastic) provision boot failures with
+	// capped-backoff retries. Crashed nodes enter the FAILED state —
+	// outside the free pool and every allocation — until repaired, and
+	// the controller runs the recovery paths (requeue or the runtime's
+	// shrink-to-survive). Requires Energy.
+	Faults FaultModel
 }
 
 // DefaultConfig mirrors the paper's Slurm setup: backfill scheduling with
@@ -133,6 +141,9 @@ type Controller struct {
 
 	// elastic is the capacity controller state (nil: fixed fleet).
 	elastic *elasticState
+
+	// faults is the fault-injection state (nil: nothing ever fails).
+	faults *faultState
 
 	// pick is the pass-scoped placement cache: pickNodes answers for one
 	// job at one pool version, shared by classClampSize, backfillEnd,
@@ -251,6 +262,9 @@ func NewController(c *platform.Cluster, cfg Config) *Controller {
 	if cfg.Elastic != nil {
 		ctl.initElastic(*cfg.Elastic)
 	}
+	if cfg.Faults != nil {
+		ctl.initFaults()
+	}
 	// Nodes start idle; with sleep enabled they doze off unless a job
 	// claims them within the idle timeout.
 	for _, n := range c.Nodes {
@@ -328,6 +342,9 @@ func (c *Controller) AllocatedNodes() int {
 	n := len(c.cluster.Nodes) - c.pool.total - c.drainedUnheld
 	if c.elastic != nil {
 		n -= c.elastic.offlineN
+	}
+	if c.faults != nil {
+		n -= c.faults.failedOut
 	}
 	return n
 }
@@ -691,6 +708,16 @@ func (c *Controller) releaseNodes(nodes []*platform.Node) {
 	now := c.k.Now()
 	for _, nd := range nodes {
 		c.owner[nd.Index] = 0
+		if c.nodeFailed(nd.Index) {
+			// The node crashed while this job held it: it moves to the
+			// fault books, never the pool. A repair that completed while
+			// the job hung on finalizes now.
+			c.faults.failedOut++
+			if c.faults.repairParked[nd.Index] {
+				c.finishRepair(nd.Index)
+			}
+			continue
+		}
 		if c.drained[nd.Index] {
 			c.drainedUnheld++
 			continue
@@ -765,6 +792,11 @@ func (c *Controller) powerRelease(nodes []*platform.Node) {
 	}
 	now := c.k.Now()
 	for _, n := range nodes {
+		if c.nodeFailed(n.Index) {
+			// Crashed hardware: the accountant already holds it at FAILED
+			// draw; there is nothing to idle or re-arm until repair.
+			continue
+		}
 		if c.bootUntil[n.Index] > now {
 			c.cfg.Energy.ReleaseBooting(n.Index)
 			c.scheduleBootDone(n)
@@ -793,6 +825,20 @@ func (c *Controller) bootDone(n *platform.Node, until sim.Time) {
 	if c.bootUntil[i] != until || c.cfg.Energy.State(i) != energy.Booting {
 		return
 	}
+	if c.faults != nil && c.faults.provBootUntil[i] == until {
+		// An elastic provision boot landing on free hardware: the one
+		// boot kind the injector may fail. The deadline match keys the
+		// consult to this transition exactly — wake-ahead and
+		// release-window boots never draw, and a node allocated mid-boot
+		// implicitly boots fine (its bootUntil belongs to the job now).
+		c.faults.provBootUntil[i] = 0
+		if c.faults.model.BootFails() {
+			c.bootFailed(n)
+			return
+		}
+		c.faults.strikes[i] = 0
+		c.faults.retryAt[i] = 0
+	}
 	c.cfg.Energy.FinishBoot(i)
 	c.pool.markAwake(i)
 	c.logNode(EvOnline, n, 0)
@@ -815,7 +861,7 @@ func (c *Controller) bootDone(n *platform.Node, until sim.Time) {
 // nodes. Drained nodes never sleep: they are held out of service for
 // maintenance and stay powered on.
 func (c *Controller) armSleep(n *platform.Node) {
-	if len(c.ladder) == 0 || c.drained[n.Index] || c.isOffline(n.Index) {
+	if len(c.ladder) == 0 || c.drained[n.Index] || c.isOffline(n.Index) || c.nodeFailed(n.Index) {
 		return
 	}
 	c.sleepGen[n.Index]++
@@ -941,6 +987,9 @@ func (c *Controller) startJob(j *Job, n int) {
 	j.State = StateRunning
 	j.StartTime = c.k.Now()
 	j.lastAllocated = j.StartTime
+	// A failure from here on loses work back to this point, until a
+	// checkpoint advances the protected mark.
+	j.ProtectedAt = j.StartTime
 	c.removePending(j)
 	c.running[j.ID] = j
 	c.insertEndOrder(j)

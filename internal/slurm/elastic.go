@@ -242,7 +242,7 @@ func (c *Controller) elasticScaleUp(deficit int) {
 	}
 	booted := 0
 	for i := 0; i < len(c.cluster.Nodes) && booted < deficit; i++ {
-		if !e.offline[i] || c.drained[i] {
+		if !e.offline[i] || c.drained[i] || !c.provisionable(i) {
 			continue
 		}
 		c.provisionNode(c.cluster.Nodes[i])
@@ -265,6 +265,12 @@ func (c *Controller) provisionNode(n *platform.Node) {
 	c.sleepGen[i]++ // satellite of decommission: no stale timer may act on the fresh incarnation
 	w := c.cfg.Energy.StartBoot(i)
 	c.bootUntil[i] = c.k.Now() + w
+	if c.faults != nil {
+		// Mark the landing for the boot-failure consult: only this
+		// provision transition, completing at exactly this deadline on a
+		// still-free node, may fail.
+		c.faults.provBootUntil[i] = c.bootUntil[i]
+	}
 	c.pool.addBooting(i)
 	c.scheduleBootDone(n)
 	e.boots++

@@ -25,6 +25,10 @@ const (
 	EvBoot            // a free node's wake/boot transition started (wake-ahead or provision)
 	EvOnline          // a free node's wake/boot transition completed; it is allocatable at full readiness
 	EvOffline         // the elastic controller powered a node off (decommission)
+	EvFail            // a node crashed (fault injection); it is FAILED until repaired
+	EvRepair          // a failed (or boot-unhealthy) node finished repair
+	EvRequeue         // a running job lost a node and was killed back to the pending queue
+	EvBootFail        // an elastic provision boot failed; the node powered back off
 )
 
 func (k EventKind) String() string {
@@ -65,6 +69,14 @@ func (k EventKind) String() string {
 		return "ONLINE"
 	case EvOffline:
 		return "OFFLINE"
+	case EvFail:
+		return "FAIL"
+	case EvRepair:
+		return "REPAIR"
+	case EvRequeue:
+		return "REQUEUE"
+	case EvBootFail:
+		return "BOOTFAIL"
 	}
 	return "?"
 }

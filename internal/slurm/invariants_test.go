@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -27,6 +28,7 @@ type invConfig struct {
 	thermal    bool
 	ladder     bool
 	elastic    bool
+	faults     bool
 }
 
 var invConfigs = []invConfig{
@@ -38,6 +40,8 @@ var invConfigs = []invConfig{
 	{name: "elastic", elastic: true},
 	{name: "elastic+ladder", elastic: true, ladder: true},
 	{name: "everything", powercap: true, classaware: true, thermal: true, ladder: true},
+	{name: "faults", faults: true},
+	{name: "faults+elastic+ladder", faults: true, elastic: true, ladder: true},
 }
 
 // invNodeSnap is one node's power-relevant state between two events.
@@ -135,6 +139,35 @@ func (k *invChecker) check(t *testing.T) {
 		if cur.state == energy.Off && (c.pool.contains(i) || c.owner[i] != 0) {
 			t.Fatalf("t=%v node %d is OFF while pooled or owned", now, i)
 		}
+		// Fault machinery coherence: the failed ledger and the energy
+		// meter agree exactly; failed hardware is out of the free pool
+		// and (in this harness, where every job requeues on a crash)
+		// unowned; a repair timer is only ever in flight for crashed or
+		// unhealthy hardware and never coexists with a parked repair;
+		// unhealthy nodes sit powered off awaiting repair.
+		if f := c.faults; f != nil {
+			if f.failed[i] != (cur.state == energy.Failed) {
+				t.Fatalf("t=%v node %d failed=%v but meter says %v", now, i, f.failed[i], cur.state)
+			}
+			if f.failed[i] && c.pool.contains(i) {
+				t.Fatalf("t=%v node %d is FAILED yet pooled", now, i)
+			}
+			if f.failed[i] && c.owner[i] != 0 {
+				t.Fatalf("t=%v node %d is FAILED yet owned by %d", now, i, c.owner[i])
+			}
+			if f.repairPending[i] && !(f.failed[i] || f.unhealthy[i]) {
+				t.Fatalf("t=%v node %d has a repair pending while healthy", now, i)
+			}
+			if f.repairPending[i] && f.repairParked[i] {
+				t.Fatalf("t=%v node %d repair both pending and parked", now, i)
+			}
+			if f.repairParked[i] && !f.failed[i] {
+				t.Fatalf("t=%v node %d repair parked on unfailed hardware", now, i)
+			}
+			if f.unhealthy[i] && !c.isOffline(i) {
+				t.Fatalf("t=%v node %d unhealthy but not powered off", now, i)
+			}
+		}
 		// Thermal floors stay within the profile's P-state range and
 		// temperatures never undershoot ambient.
 		if th := c.cluster.Nodes[i].Power.Thermal; th.Enabled() {
@@ -221,6 +254,21 @@ func runInvariantFuzz(t *testing.T, ic invConfig, seed int64) {
 			HoldDown:   60 * sim.Second,
 		}
 	}
+	if ic.faults {
+		// Frequent crashes and (under elastic) boot failures, bounded to
+		// the workload's era so the post-run crash chain stays short. The
+		// injector's stream is salted independently of the workload rng.
+		fc := faults.Config{
+			MTBF:    sim.Time(500+rng.Intn(500)) * sim.Second,
+			MTTR:    120 * sim.Second,
+			Horizon: 2500 * sim.Second,
+			Seed:    seed,
+		}
+		if ic.elastic {
+			fc.BootFailP = 0.3
+		}
+		cfg.Faults = faults.New(fc)
+	}
 	c := NewController(cl, cfg)
 
 	classes := []string{"", energy.DefaultProfile().Class, energy.EfficiencyProfile().Class}
@@ -245,17 +293,23 @@ func runInvariantFuzz(t *testing.T, ic invConfig, seed int64) {
 		}
 		shrink := rng.Intn(4) == 0 && width%2 == 0 && width > 1
 		j.Launch = func(j *Job, _ []*platform.Node) {
+			// A crash may requeue the job mid-run; this incarnation's
+			// timers must then neither mutate nor complete the restart.
+			rq := j.Requeues
+			live := func() bool { return j.Requeues == rq && j.State == StateRunning }
 			cl.K.Spawn(j.Name, func(p *sim.Proc) {
 				if shrink {
 					p.Sleep(d / 2)
-					if n := j.NNodes(); n > 1 && n%2 == 0 {
+					if n := j.NNodes(); live() && n > 1 && n%2 == 0 {
 						c.ShrinkJob(j, n/2)
 					}
 					p.Sleep(d / 2)
 				} else {
 					p.Sleep(d)
 				}
-				c.JobComplete(j)
+				if live() {
+					c.JobComplete(j)
+				}
 			})
 		}
 		jobs = append(jobs, j)
@@ -300,6 +354,7 @@ func runInvariantFuzz(t *testing.T, ic invConfig, seed int64) {
 			"node_seconds": r.NodeSeconds, "energy_j": r.EnergyJ, "avg_power_w": r.AvgPowerW,
 			"throttled_s": r.ThrottledSec, "thermal_throttled_s": r.ThermalThrottledSec,
 			"min_class_speed": r.MinClassSpeed,
+			"requeues":        float64(r.Requeues), "lost_work_s": r.LostWorkS,
 		} {
 			if v < 0 {
 				t.Fatalf("job %d: accounting column %s is negative: %f", r.ID, col, v)

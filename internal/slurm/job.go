@@ -5,6 +5,13 @@
 // detach nodes from a job, cancel, grow), plus a pluggable resource
 // selection policy used for reconfiguration decisions (Algorithm 1 lives
 // in the selectdmr subpackage).
+//
+// The controller also owns failure recovery (faults.go): node crashes
+// drawn by a pluggable FaultModel (internal/faults is the production
+// injector) requeue rigid jobs — from scratch or from their last
+// checkpoint — and shrink malleable jobs onto the survivors; see the
+// "Fault tolerance" section of DESIGN.md for the state machine and the
+// recovery decision table.
 package slurm
 
 import (
@@ -99,6 +106,22 @@ type Job struct {
 
 	Launch LaunchFunc
 	OnEnd  func(j *Job) // invoked at completion or cancellation
+
+	// OnNodeFail, when set, makes the job fault-aware: a crash on one of
+	// its nodes notifies the handler (kernel context, inside the crash
+	// event) instead of requeueing on the spot. The handler — the nanos
+	// runtime registers one for malleable jobs — decides at the job's
+	// next synchronization point whether to shrink to the survivors
+	// (CollectFailed) or give up and requeue (RequeueFailed).
+	OnNodeFail func(j *Job, n *platform.Node)
+
+	// Fault-recovery bookkeeping. ProtectedAt is the restart point a
+	// failure falls back to: stamped at every (re)start and advanced by
+	// MarkProtected when a checkpoint commits. Requeues counts rigid
+	// recoveries; LostWorkS accumulates node-set seconds of work redone.
+	ProtectedAt sim.Time
+	Requeues    int
+	LostWorkS   float64
 
 	alloc          []*platform.Node
 	onResizerStart func(*Job) // resizer jobs: fired when allocated

@@ -37,7 +37,7 @@ func (c *Controller) DrainNode(index int) error {
 	// resume inside the window hands the pool a booting node, not an
 	// awake one (allocating it twice under its wake latency was the
 	// mid-boot state hole).
-	if c.cfg.Energy != nil && !c.isOffline(index) {
+	if c.cfg.Energy != nil && !c.isOffline(index) && !c.nodeFailed(index) {
 		c.sleepGen[index]++
 		if w := c.cfg.Energy.StartBoot(index); w > 0 {
 			c.bootUntil[index] = c.k.Now() + w
@@ -62,8 +62,10 @@ func (c *Controller) ResumeNode(index int) error {
 	// Only re-add to the free pool if no job holds it (it may still be
 	// allocated if it was drained while busy and the job is running). A
 	// decommissioned node stays offline: the elastic adapt loop, not the
-	// drain machinery, owns its return to the fleet.
-	if !c.nodeHeld(n) && !c.isOffline(index) {
+	// drain machinery, owns its return to the fleet — and a FAILED node
+	// stays on the fault books (it was never in drainedUnheld) until its
+	// repair re-pools it.
+	if !c.nodeHeld(n) && !c.isOffline(index) && !c.nodeFailed(index) {
 		c.drainedUnheld--
 		c.releaseNodes([]*platform.Node{n})
 		c.kick()

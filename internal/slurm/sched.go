@@ -459,16 +459,19 @@ func (c *Controller) reservation(blocked *Job) (sim.Time, int) {
 	// sorted incrementally). A job that overran its estimate is priced
 	// at an imminent end; overruns sort first, so the walk stays in
 	// ascending release time.
-	unfiltered := blocked.ReqClass == "" && c.drainedN == 0
+	unfiltered := blocked.ReqClass == "" && c.drainedN == 0 &&
+		(c.faults == nil || c.faults.failedN == 0)
 	for _, r := range c.endOrder {
-		// Drained nodes leave service when the job releases them: they
-		// never reach the free pool, so counting them would place the
-		// shadow time too early and overstate the extra nodes.
+		// Drained nodes leave service when the job releases them — and so
+		// do FAILED ones (a crashed member of a running allocation goes to
+		// repair, not the pool): they never reach the free pool, so
+		// counting them would place the shadow time too early and
+		// overstate the extra nodes.
 		releases := len(r.j.alloc)
 		if !unfiltered {
 			releases = 0
 			for _, nd := range r.j.alloc {
-				if !c.isDrained(nd) && blocked.ClassEligible(nd) {
+				if !c.isDrained(nd) && !c.nodeFailed(nd.Index) && blocked.ClassEligible(nd) {
 					releases++
 				}
 			}

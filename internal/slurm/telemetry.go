@@ -44,6 +44,7 @@ var (
 	waitBuckets     = []float64{1, 10, 60, 300, 1800, 7200, 43200}
 	stretchBuckets  = []float64{1, 1.05, 1.1, 1.25, 1.5, 2, 4, 8}
 	passWallBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+	lostWorkBuckets = []float64{1, 10, 60, 300, 1800, 7200, 43200}
 )
 
 // telState carries the controller's pre-registered instrument handles
@@ -74,6 +75,12 @@ type telState struct {
 	// byte-identical registry snapshot.
 	fleetNodes           *telemetry.Gauge
 	boots, decommissions *telemetry.Counter
+
+	// Fault instruments, registered only when a fault model is attached:
+	// a fault-free run must export a byte-identical registry snapshot.
+	failures, requeues *telemetry.Counter
+	bootRetries        *telemetry.Counter
+	lostWork           *telemetry.Histogram
 
 	// passWall is wall-clock and lives in sink.Prof, never in sink.Reg.
 	passWall *telemetry.Histogram
@@ -128,6 +135,12 @@ func newTelState(c *Controller, sink *telemetry.Sink) *telState {
 		t.fleetNodes = reg.Gauge("elastic_fleet_nodes")
 		t.boots = reg.Counter("elastic_boots_total")
 		t.decommissions = reg.Counter("elastic_decommissions_total")
+	}
+	if c.cfg.Faults != nil {
+		t.failures = reg.Counter("fault_failures_total")
+		t.requeues = reg.Counter("fault_requeues_total")
+		t.bootRetries = reg.Counter("fault_boot_retries_total")
+		t.lostWork = reg.Histogram("fault_lost_work_seconds", lostWorkBuckets)
 	}
 	tr := sink.Trace
 	tr.MetaProcess(tracePidSched, "scheduler")

@@ -121,7 +121,7 @@ type Params struct {
 	MeanArrival sim.Time // Poisson inter-arrival mean ("arrival")
 	// Arrival modulates the Poisson rate over time (zero: flat stream,
 	// byte-identical to earlier seeds).
-	Arrival ArrivalPattern
+	Arrival     ArrivalPattern
 	Iterations  int      // app iterations, bounds the per-step runtime
 	MaxStepTime sim.Time // cap on runtime/iterations (§VIII-A: 60 s)
 	MeanRuntime sim.Time // base of the hyperexponential runtime
@@ -214,6 +214,17 @@ func sampleRuntime(rng *rand.Rand, p Params, nodes int) sim.Time {
 		r = maxRuntime
 	}
 	return r
+}
+
+// NewStream mints an independent deterministic RNG stream from a seed.
+// This is the module's only sanctioned stream constructor outside the
+// generator itself (the rngstream analyzer forbids rand.New elsewhere):
+// every consumer — the workload generator, the fault injector — derives
+// its stream from the run seed XOR a consumer-specific salt, so the
+// streams are mutually independent and adding or enabling one never
+// perturbs another's draws.
+func NewStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
 }
 
 // Generate produces the deterministic job stream for p.
