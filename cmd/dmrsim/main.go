@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	dmrsim [-jobs N] [-nodes N] [-realistic] [-fixed] [-async] [-moldable]
+//	dmrsim [-jobs N] [-nodes N] [-realistic] [-arrival shape] [-fixed] [-async] [-moldable]
 //	       [-period s] [-seed N] [-trace] [-events]
 //	       [-energy] [-sleep s] [-energypolicy] [-powercap W]
 //	       [-fastnodes N] [-classaware] [-thermal] [-ladder]
-//	       [-elastic min:max] [-mtbf s] [-mttr s] [-bootfail p] [-ckpt N]
+//	       [-elastic min:max] [-mtbf s] [-mttr s] [-bootfail p] [-ckpt N] [-migrate]
 //	       [-tracefile f.json] [-metricsfile f.prom] [-pprof f] [-rtrace f]
 //
 // Observability: -tracefile writes a Chrome trace-event JSON of the run
@@ -76,6 +76,7 @@ func main() {
 	jobs := flag.Int("jobs", 50, "number of jobs")
 	nodes := flag.Int("nodes", 0, "cluster nodes (default: 20 preliminary, 65 realistic)")
 	realistic := flag.Bool("realistic", false, "CG/Jacobi/N-body mix instead of FS")
+	arrival := flag.String("arrival", "constant", "arrival shape: constant, diurnal (24 h day/night swing), or bursty (6 h submission storms)")
 	fixed := flag.Bool("fixed", false, "run the workload rigid (no malleability)")
 	async := flag.Bool("async", false, "asynchronous reconfiguration scheduling")
 	moldable := flag.Bool("moldable", false, "moldable submissions (paper §X extension)")
@@ -98,6 +99,7 @@ func main() {
 	mttr := flag.Float64("mttr", 0, "mean time to repair a crashed node in seconds (0: one hour)")
 	bootFailP := flag.Float64("bootfail", 0, "probability an elastic provision boot fails (use with -elastic)")
 	ckpt := flag.Int("ckpt", 0, "periodic application checkpoint every N iterations: a crash-requeued job resumes from its last checkpoint (0 disables)")
+	migrate := flag.Bool("migrate", false, "live-migration decision pass: checkpoint/restart running jobs across machine classes to evacuate, defragment or consolidate (implies -energy; use with -fastnodes)")
 	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON of the run (Perfetto-loadable)")
 	metricsFile := flag.String("metricsfile", "", "write a telemetry registry snapshot (Prometheus text, or CSV when the path ends in .csv)")
 	pprofFile := flag.String("pprof", "", "write a host CPU profile of the simulator run (go tool pprof)")
@@ -132,6 +134,13 @@ func main() {
 	if *nodes > 0 {
 		cfg.Nodes = *nodes
 	}
+	shape, err := workload.NamedArrival(*arrival)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmrsim:", err)
+		fmt.Fprintln(os.Stderr, "usage: dmrsim -arrival constant|diurnal|bursty")
+		os.Exit(2)
+	}
+	params.Arrival = shape
 	cfg.Async = *async
 	cfg.MoldableSubmissions = *moldable
 	if *period >= 0 {
@@ -141,7 +150,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dmrsim: -sleep and -ladder are mutually exclusive (the ladder fixes its own rung timings)")
 		os.Exit(2)
 	}
-	if *withEnergy || *sleepAfter > 0 || *energyPolicy || *powerCap > 0 || *thermal || *ladder || *elastic != "" {
+	if *withEnergy || *sleepAfter > 0 || *energyPolicy || *powerCap > 0 || *thermal || *ladder || *elastic != "" || *migrate {
 		cfg.Energy = true
 		cfg.IdleSleep = sim.Seconds(*sleepAfter)
 		cfg.EnergyPolicy = *energyPolicy
@@ -169,6 +178,9 @@ func main() {
 		cfg.Energy = true
 	}
 	cfg.CkptEvery = *ckpt
+	if *migrate {
+		cfg.Migration = &slurm.MigrationConfig{}
+	}
 	if *fastNodes >= 0 {
 		total := cfg.Nodes
 		if total == 0 {
@@ -269,6 +281,12 @@ func main() {
 		fmt.Printf("  shrink recoveries:    %10d\n", fs.Shrinks)
 		fmt.Printf("  boot failures:        %10d\n", fs.BootFails)
 		fmt.Printf("  lost work:            %10.0f s\n", fs.LostWorkS)
+	}
+	if cfg.Migration != nil {
+		ms := sys.Ctl.MigrationStats()
+		fmt.Printf("  migration orders:     %10d\n", ms.Orders)
+		fmt.Printf("  live migrations:      %10d\n", ms.Migrations)
+		fmt.Printf("  migration cost paid:  %10.0f s\n", ms.MigratedS)
 	}
 	if *thermal {
 		thermSec := 0.0

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet|scale|thermal|telemetry|elastic|faults] [-quick] [-seed N]
+//	experiments [-exp all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|ablations|energy|powercap|mixedfleet|scale|thermal|telemetry|elastic|faults|migration] [-quick] [-seed N]
 //
 // The energy experiment compares total cluster energy for rigid,
 // malleable (Algorithm 1) and energy-aware-policy runs of the same
@@ -45,6 +45,16 @@
 // all regimes face the identical failure schedule; the table reports
 // makespan, energy, requeue churn and lost work per regime.
 //
+// The migration experiment runs the live-migration study: the same
+// seeded sparse workload (diurnal and bursty arrivals) on a mixed
+// Xeon/efficiency fleet with class-blind placement and the sleep
+// ladder, with the scheduler's migration pass off vs on. The pass
+// checkpoint/restarts running jobs across machine classes — defragment
+// straddlers onto one pure class, consolidate off-peak stragglers onto
+// the efficiency class — and the table reports whether the energy
+// saved survives the modeled C/R cost and the consolidated jobs'
+// slower pace.
+//
 // The telemetry experiment runs the realistic flexible workload with
 // the deterministic telemetry sink attached and prints the scheduler's
 // headline counters (passes, backfill activity, placement-cache hits,
@@ -80,7 +90,13 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	quick := flag.Bool("quick", false, "scaled-down workloads")
 	seed := flag.Int64("seed", experiments.DefaultSeed, "workload seed")
+	arrival := flag.String("arrival", "", "restrict the elastic/migration studies to one arrival shape (diurnal or bursty; default: sweep both)")
 	flag.Parse()
+
+	patterns := []string(nil) // nil: each study's full pattern sweep
+	if *arrival != "" {
+		patterns = []string{*arrival}
+	}
 
 	prelimSizes := experiments.Fig3Sizes
 	realSizes := experiments.RealisticSizes
@@ -91,12 +107,14 @@ func main() {
 	mixedJobs := experiments.MixedFleetJobs
 	thermalJobs, ladderJobs := experiments.ThermalJobs, experiments.LadderJobs
 	elasticJobs := experiments.ElasticJobs
+	migrationJobs := experiments.MigrationJobs
 	var scaleDims []experiments.ScaleDim // nil sweeps the full dimensions
 	if *quick {
 		scaleDims = experiments.ScaleQuickDims
 		mixedJobs = 20
 		thermalJobs, ladderJobs = 20, 10
 		elasticJobs = 40
+		migrationJobs = 30
 		prelimSizes = []int{10, 25, 50}
 		realSizes = []int{20, 50}
 		fig8Jobs, fig9Sizes = 30, []int{10, 25}
@@ -184,10 +202,22 @@ func main() {
 		writeScaleOutputs(rows)
 	})
 	run("elastic", func() {
-		rows := experiments.Elastic(elasticJobs, experiments.ElasticTargets, *seed)
+		rows, err := experiments.Elastic(elasticJobs, patterns, experiments.ElasticTargets, *seed)
+		if err != nil {
+			usageErr(err)
+		}
 		fmt.Print(experiments.FormatElastic(rows))
 		fmt.Println()
 		writeElasticOutputs(rows)
+	})
+	run("migration", func() {
+		rows, err := experiments.Migration(migrationJobs, patterns, *seed)
+		if err != nil {
+			usageErr(err)
+		}
+		fmt.Print(experiments.FormatMigration(rows))
+		fmt.Println()
+		writeMigrationOutputs(rows)
 	})
 	run("faults", func() {
 		rows := experiments.Faults(experiments.FaultJobs, experiments.FaultMTBFs, *seed)
@@ -218,6 +248,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
 		os.Exit(2)
 	}
+}
+
+// usageErr reports a bad flag value with the flag usage and exits.
+func usageErr(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 // evolution prints an evolution comparison as ASCII charts (the paper's
@@ -517,6 +554,17 @@ func writeElasticOutputs(rows []experiments.ElasticRow) {
 	}
 	writeFile(filepath.Join(*csvDir, "elastic_summary.csv"), func(f *os.File) error {
 		return experiments.WriteElasticSummaryCSV(f, rows)
+	})
+}
+
+// writeMigrationOutputs dumps the migration study's summary CSV (the
+// golden-pinned artifact) when requested.
+func writeMigrationOutputs(rows []experiments.MigrationRow) {
+	if *csvDir == "" {
+		return
+	}
+	writeFile(filepath.Join(*csvDir, "migration_summary.csv"), func(f *os.File) error {
+		return experiments.WriteMigrationSummaryCSV(f, rows)
 	})
 }
 

@@ -89,6 +89,14 @@ type Config struct {
 	// checkpoint instead of iteration zero.
 	CkptEvery int
 
+	// MigrationAware lets the job cooperate with the scheduler's live
+	// migration pass: rank 0 registers the state footprint once the data
+	// is initialized, and the loop polls for a migration order at each
+	// batch head — when one is pending, every rank writes its shard
+	// through the PFS and the job requeues toward the destination class,
+	// resuming from that checkpoint via Recovery.
+	MigrationAware bool
+
 	// Recovery, when set, carries checkpoint progress across
 	// incarnations of the same job (the submission layer passes one
 	// instance per job; it outlives crash requeues).

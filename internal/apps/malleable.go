@@ -67,6 +67,12 @@ func Run(w *nanos.Worker, cfg Config, app App) {
 			t = cfg.Recovery.Iter
 		}
 	}
+	if cfg.MigrationAware && w.R.Rank() == 0 {
+		// Register the job's checkpoint footprint with the migration
+		// pass: the scheduler cannot price a move it cannot size. Every
+		// rank's share is the same wire size in this skeleton.
+		w.NoteStateBytes(state.WireBytes() * int64(w.R.Size()))
+	}
 	req := cfg.Request()
 	batch := cfg.StepsPerCheck
 	if batch < 1 {
@@ -84,6 +90,24 @@ func Run(w *nanos.Worker, cfg Config, app App) {
 	for t < cfg.Iterations {
 		if w.Abandoned() {
 			return // crash-requeued: a fresh incarnation owns the job now
+		}
+		if cfg.MigrationAware && w.MigrateOrdered() {
+			// Live migration pickup: every rank writes its shard through
+			// the (contended) PFS, rank 0 records the protected iteration,
+			// and the whole set hands the job back to the queue pinned to
+			// the destination class. The restart resumes from this
+			// checkpoint through the recovery path.
+			cp := checkpoint.New(w.R.Comm().Cluster())
+			cp.Write(w.R.Proc(), state.WireBytes())
+			if w.R.Rank() == 0 && !w.Abandoned() {
+				w.MarkProtected()
+				if cfg.Recovery != nil {
+					cfg.Recovery.Iter = t
+					cfg.Recovery.HasCkpt = true
+				}
+			}
+			w.MigrateFinish()
+			return
 		}
 		if cfg.Malleable {
 			var action slurm.Action

@@ -21,11 +21,13 @@ func TestSingleStreamTime(t *testing.T) {
 	cp := New(cl)
 	var done sim.Time
 	cl.K.Spawn("writer", func(p *sim.Proc) {
-		cp.Write(p, 200e6) // 200 MB at 100 MB/s + 0.1s open = 2.1s
+		// A lone stream has the aggregate bandwidth to itself:
+		// 200 MB at 400 MB/s + 0.1s open = 0.6s.
+		cp.Write(p, 200e6)
 		done = p.Now()
 	})
 	cl.K.Run()
-	want := 2100 * sim.Millisecond
+	want := 600 * sim.Millisecond
 	if done != want {
 		t.Fatalf("write took %v, want %v", done, want)
 	}
@@ -140,13 +142,15 @@ func TestEstimateFullResizeMatchesSimulatedCycle(t *testing.T) {
 	}
 }
 
-// More writer streams than PFS slots: the surplus queues a full wave,
-// and the analytic phase time prices exactly that serialization.
+// More writer streams than PFS slots: the surplus queues a second wave,
+// and because only two streams survive into it they split the aggregate
+// bandwidth two ways — the trailing partial wave is strictly cheaper
+// than the full-contention wave ahead of it.
 func TestPhaseContentionBeyondSlots(t *testing.T) {
 	cl := testCluster()
 	cp := New(cl)
 	const total = int64(600e6)
-	p := cl.Cfg.PFSConcurrent + 2 // 6 streams over 4 slots → 2 waves
+	p := cl.Cfg.PFSConcurrent + 2 // 6 streams over 4 slots → full wave + partial wave
 	var first, last sim.Time
 	for i := 0; i < p; i++ {
 		cl.K.Spawn(fmt.Sprintf("w%d", i), func(pr *sim.Proc) {
@@ -163,8 +167,39 @@ func TestPhaseContentionBeyondSlots(t *testing.T) {
 	if want := cp.phaseTime(total, p); last != want {
 		t.Fatalf("contended write phase %v, analytic %v", last, want)
 	}
-	if last != 2*first {
-		t.Fatalf("queued wave finished at %v, want exactly two waves of %v", last, first)
+	share := total / int64(p)
+	if want := first + cp.shareTime(share, p%cl.Cfg.PFSConcurrent); last != want {
+		t.Fatalf("partial wave finished at %v, want full wave %v + narrow-wave time = %v", last, first, want)
+	}
+	if last >= 2*first {
+		t.Fatalf("partial wave of %d streams priced as a full wave: phase %v, full wave %v",
+			p%cl.Cfg.PFSConcurrent, last, first)
+	}
+}
+
+// The analytic phase time must agree with the simulated stream flow at
+// widths that do not divide the slot count — the final wave holds fewer
+// than PFSConcurrent streams and runs each at a wider bandwidth share.
+func TestPhaseTimeMatchesSimulatedNonDivisibleWidths(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 6, 7, 9, 10, 13} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			cl := testCluster()
+			cp := New(cl)
+			const total = int64(840e6)
+			var last sim.Time
+			for i := 0; i < p; i++ {
+				cl.K.Spawn(fmt.Sprintf("w%d", i), func(pr *sim.Proc) {
+					cp.Write(pr, total/int64(p))
+					if pr.Now() > last {
+						last = pr.Now()
+					}
+				})
+			}
+			cl.K.Run()
+			if want := cp.phaseTime(total, p); last != want {
+				t.Fatalf("simulated %d-stream phase %v, analytic %v", p, last, want)
+			}
+		})
 	}
 }
 

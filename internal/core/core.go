@@ -118,6 +118,14 @@ type Config struct {
 	// every this many iterations (0 disables), bounding the work a
 	// crash-requeued rigid job loses.
 	CkptEvery int
+	// Migration attaches the live-migration decision pass (implies
+	// Energy — the picker prices moves in watts): the scheduler may
+	// order a running job onto another machine class through a modeled
+	// checkpoint/restart cycle, to evacuate throttled nodes, clean up
+	// class-straddling placements, or consolidate sparse load so vacated
+	// racks power down. Requires a Policy (the selectdmr plug-ins
+	// implement the picker half). Nil leaves every golden byte-identical.
+	Migration *slurm.MigrationConfig
 	// Telemetry, when non-nil, wires the deterministic telemetry sink
 	// through the controller and accountant: sim-time trace spans,
 	// the metrics registry, and wall-clock profiling. Nil disables every
@@ -208,8 +216,8 @@ func NewSystem(cfg Config) *System {
 	var acct *energy.Accountant
 	rec := &metrics.Recorder{}
 	faultsOn := cfg.Faults != nil && cfg.Faults.Enabled()
-	if cfg.PowerCapW > 0 || cfg.Thermal || len(cfg.SleepLadder) > 0 || cfg.Elastic != nil || faultsOn {
-		cfg.Energy = true // all five run on the accountant's meters
+	if cfg.PowerCapW > 0 || cfg.Thermal || len(cfg.SleepLadder) > 0 || cfg.Elastic != nil || faultsOn || cfg.Migration != nil {
+		cfg.Energy = true // all six run on the accountant's meters
 	}
 	if cfg.Energy {
 		acct = energy.New(cl.K, cl.PowerProfiles())
@@ -232,6 +240,7 @@ func NewSystem(cfg Config) *System {
 		if faultsOn {
 			scfg.Faults = faults.New(*cfg.Faults)
 		}
+		scfg.Migration = cfg.Migration
 	}
 	ctl := slurm.NewController(cl, scfg)
 	rec.Attach(ctl)
@@ -277,6 +286,7 @@ func (s *System) AppConfig(spec workload.Spec) apps.Config {
 	cfg.Malleable = spec.Flexible && s.Cfg.Policy
 	cfg.CRTransfer = s.Cfg.CRTransfer
 	cfg.CkptEvery = s.Cfg.CkptEvery
+	cfg.MigrationAware = s.Cfg.Migration != nil
 	return cfg
 }
 

@@ -57,11 +57,14 @@ func (r ElasticRow) EnergyGainPct(i int) float64 {
 	return metrics.GainPct(r.Static.EnergyJ, r.Runs[i].Res.EnergyJ)
 }
 
-// elasticParams shapes the realistic workload's arrivals: a smooth
-// two-hour day/night swing, or submission storms opening every 45
-// minutes. Both bottom out at 5% of the peak rate — the lulls an
-// elastic fleet retires capacity into.
-func elasticParams(jobs int, pattern string, seed int64) workload.Params {
+// ElasticPatterns is the arrival-shape sweep of the full elastic study.
+var ElasticPatterns = []string{"diurnal", "bursty"}
+
+// elasticParams shapes the realistic workload's arrivals by pattern
+// name (workload.NamedArrival). A bad name — typically a mistyped
+// -arrival flag — comes back as an error for the CLI to turn into a
+// usage message; it must not reach the generator.
+func elasticParams(jobs int, pattern string, seed int64) (workload.Params, error) {
 	p := workload.Realistic(jobs, seed)
 	// A fleet sized for peak demand idles through the valleys: the mean
 	// arrival is stretched so the cluster has real lulls, and the
@@ -72,15 +75,12 @@ func elasticParams(jobs int, pattern string, seed int64) workload.Params {
 	// reboot costs ~40 kJ more than a deep-rung wake, which the 4 W
 	// off-vs-deep saving only repays after ~2.75 h of quiet.
 	p.MeanArrival = 240 * sim.Second
-	switch pattern {
-	case "diurnal":
-		p.Arrival = workload.Diurnal(24*3600*sim.Second, 0.01)
-	case "bursty":
-		p.Arrival = workload.Bursty(6*3600*sim.Second, 0.06, 0.015)
-	default:
-		panic("experiments: unknown arrival pattern " + pattern)
+	shape, err := workload.NamedArrival(pattern)
+	if err != nil {
+		return workload.Params{}, err
 	}
-	return p
+	p.Arrival = shape
+	return p, nil
 }
 
 // elasticConfig builds the study's system: energy accounting with the
@@ -102,13 +102,21 @@ func runElastic(cfg core.Config, specs []workload.Spec) (*metrics.WorkloadResult
 	return res, boots, decomms
 }
 
-// Elastic runs the static-vs-elastic comparison over both arrival
-// shapes. Jobs are run rigid: the study isolates fleet elasticity from
-// job malleability.
-func Elastic(jobs int, targets []sim.Time, seed int64) []ElasticRow {
+// Elastic runs the static-vs-elastic comparison over the given arrival
+// shapes (nil: the full ElasticPatterns sweep). Jobs are run rigid: the
+// study isolates fleet elasticity from job malleability. An unknown
+// pattern name returns an error before anything runs.
+func Elastic(jobs int, patterns []string, targets []sim.Time, seed int64) ([]ElasticRow, error) {
+	if patterns == nil {
+		patterns = ElasticPatterns
+	}
 	var rows []ElasticRow
-	for _, pattern := range []string{"diurnal", "bursty"} {
-		specs := workload.SetFlexible(workload.Generate(elasticParams(jobs, pattern, seed)), false)
+	for _, pattern := range patterns {
+		params, err := elasticParams(jobs, pattern, seed)
+		if err != nil {
+			return nil, err
+		}
+		specs := workload.SetFlexible(workload.Generate(params), false)
 		row := ElasticRow{Pattern: pattern, Jobs: jobs, Min: ElasticMin}
 		row.Static, _, _ = runElastic(elasticConfig(nil), specs)
 		for _, tw := range targets {
@@ -126,7 +134,7 @@ func Elastic(jobs int, targets []sim.Time, seed int64) []ElasticRow {
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatElastic renders the study as a table: one static row and one

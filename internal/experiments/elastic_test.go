@@ -16,9 +16,28 @@ var elasticRows []ElasticRow
 
 func elasticStudy() []ElasticRow {
 	elasticOnce.Do(func() {
-		elasticRows = Elastic(ElasticJobs, ElasticTargets, DefaultSeed)
+		var err error
+		elasticRows, err = Elastic(ElasticJobs, nil, ElasticTargets, DefaultSeed)
+		if err != nil {
+			panic(err)
+		}
 	})
 	return elasticRows
+}
+
+// TestElasticRejectsUnknownPattern is the regression test for the CLI
+// panic: a mistyped -arrival value must come back as an error — listing
+// the valid shapes — from both the params builder and the study, never
+// as a panic from deep inside the generator.
+func TestElasticRejectsUnknownPattern(t *testing.T) {
+	if _, err := elasticParams(10, "hourly", DefaultSeed); err == nil {
+		t.Fatal("elasticParams accepted pattern \"hourly\"")
+	} else if !strings.Contains(err.Error(), "diurnal") {
+		t.Fatalf("error %q does not list the valid patterns", err)
+	}
+	if _, err := Elastic(10, []string{"hourly"}, ElasticTargets, DefaultSeed); err == nil {
+		t.Fatal("Elastic accepted pattern \"hourly\"")
+	}
 }
 
 // TestElasticCSVGolden pins the -exp elastic summary artifact byte for
@@ -61,7 +80,11 @@ func TestElasticBeatsStaticDiurnal(t *testing.T) {
 // still occur — reservation wake-ahead pre-boots sleeping nodes
 // regardless of envelope, and counts toward the boot total.)
 func TestElasticFullEnvelopeNeverShrinks(t *testing.T) {
-	specs := workload.SetFlexible(workload.Generate(elasticParams(25, "diurnal", DefaultSeed)), false)
+	params, err := elasticParams(25, "diurnal", DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := workload.SetFlexible(workload.Generate(params), false)
 	el := &slurm.ElasticConfig{Min: 1 << 20} // clamped to the cluster size
 	res, _, decomms := runElastic(elasticConfig(el), specs)
 	if decomms != 0 {

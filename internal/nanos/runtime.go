@@ -156,11 +156,11 @@ type Runtime struct {
 	// DMR calls are answered with no-action.
 	resizing bool
 
-	// incarnation is the job's Requeues count at Launch. A node crash on
-	// a job without a failure handler requeues it on the spot; the old
-	// process generations keep running in the simulator but belong to a
-	// dead incarnation — stale() gates every side effect they could
-	// have on the job's fresh Runtime.
+	// incarnation is the job's Incarnation count at Launch. A crash
+	// requeue or a live migration bumps it; the old process generations
+	// keep running in the simulator but belong to a dead incarnation —
+	// stale() gates every side effect they could have on the job's
+	// fresh Runtime.
 	incarnation int
 
 	// failedNodes accumulates the crashes OnNodeFail reported, in crash
@@ -174,9 +174,9 @@ type Runtime struct {
 	Stats Stats
 }
 
-// stale reports whether this Runtime belongs to a requeued-away
-// incarnation of the job.
-func (rt *Runtime) stale() bool { return rt.job.Requeues != rt.incarnation }
+// stale reports whether this Runtime belongs to a requeued-away (or
+// migrated-away) incarnation of the job.
+func (rt *Runtime) stale() bool { return rt.job.Incarnation != rt.incarnation }
 
 // Launch starts job j's application as a malleable process set over its
 // allocation. It is meant to be called from the job's LaunchFunc (kernel
@@ -185,7 +185,7 @@ func Launch(ctl *slurm.Controller, j *slurm.Job, cfg Config, appMain func(w *Wor
 	if cfg.ExpandTimeout == 0 {
 		cfg.ExpandTimeout = DefaultConfig().ExpandTimeout
 	}
-	rt := &Runtime{ctl: ctl, job: j, cfg: cfg, appMain: appMain, incarnation: j.Requeues}
+	rt := &Runtime{ctl: ctl, job: j, cfg: cfg, appMain: appMain, incarnation: j.Incarnation}
 	if cfg.FaultAware {
 		j.OnNodeFail = func(_ *slurm.Job, n *platform.Node) {
 			rt.failedNodes = append(rt.failedNodes, n)

@@ -38,7 +38,8 @@ func (w *Worker) Spawned() bool { return w.R.Comm().Parent() != nil }
 func (w *Worker) Runtime() *Runtime { return w.rt }
 
 // Abandoned reports whether this process set belongs to a requeued-away
-// incarnation of the job (a node crash killed the job back to the queue).
+// incarnation of the job (a node crash killed it back to the queue, or a
+// live migration moved it to another machine class).
 // Application loops bail out when it turns true: the simulator cannot
 // kill their processes, so they unwind themselves, and the runtime voids
 // their completion accounting.
@@ -80,6 +81,51 @@ func (w *Worker) SpeedFactor() float64 {
 		}
 		return n.Power.SpeedAt(0)
 	})
+}
+
+// NoteStateBytes registers the process set's total checkpointable state
+// footprint with the controller — the byte count the migration pass
+// prices moves with; a job that never reports one is never a migration
+// candidate. Rank 0 calls it once the application data is initialized.
+// No-op for abandoned incarnations.
+func (w *Worker) NoteStateBytes(total int64) {
+	if w.rt.stale() {
+		return
+	}
+	w.rt.ctl.SetStateBytes(w.rt.job, total)
+}
+
+// MigrateOrdered reports whether the controller has placed a migration
+// order for this job. The call is collective over the process set: rank
+// 0 consults the controller and every rank receives the same verdict,
+// so the set enters the checkpoint phase in lockstep.
+func (w *Worker) MigrateOrdered() bool {
+	ordered := false
+	if w.R.Rank() == 0 {
+		ordered = !w.rt.stale() && w.rt.ctl.MigrationOrdered(w.rt.job)
+	}
+	return w.R.Bcast(0, ordered, 1).(bool)
+}
+
+// MigrateFinish completes a live migration after every rank has written
+// its checkpoint shard through the PFS: all ranks acknowledge to the
+// management rank (rank 0), which hands the job back to the queue
+// pinned to the order's destination class. MigrateRequeue bumps the
+// job's incarnation, so this whole process set unwinds as abandoned and
+// the restart resumes from the checkpoint it just wrote. After
+// MigrateFinish the application must return.
+func (w *Worker) MigrateFinish() {
+	if w.R.Rank() == 0 {
+		for i := 1; i < w.R.Size(); i++ {
+			w.R.Recv(mpi.AnySource, AckTag)
+		}
+		w.R.Proc().Sleep(w.rt.ctl.Cluster().Cfg.RPCLatency)
+		if !w.rt.stale() {
+			w.rt.ctl.MigrateRequeue(w.rt.job)
+		}
+	} else {
+		w.R.Send(0, AckTag, nil, 0)
+	}
 }
 
 // checkResult is the verdict rank 0 distributes to the process set.
@@ -135,6 +181,12 @@ func (rt *Runtime) decideAndPrepare(w *Worker, req Request, async bool) *checkRe
 	// point that sees it.
 	if failed := rt.syncFailed(w.R.Comm()); len(failed) > 0 {
 		return rt.prepareRecovery(w, failed, req)
+	}
+	if rt.ctl.MigrationOrdered(rt.job) {
+		// A live-migration order is pending: the application picks it up
+		// at its next loop head; granting a resize now would race the
+		// checkpoint/requeue move.
+		return &checkResult{action: slurm.NoAction}
 	}
 	if rt.cfg.SchedPeriod > 0 && rt.checkedOnce && now-rt.lastCheck < rt.cfg.SchedPeriod {
 		rt.Stats.Inhibited++

@@ -197,8 +197,13 @@ func NewResource(k *Kernel, capacity int) *Resource {
 	return &Resource{k: k, cap: capacity}
 }
 
-// InUse reports the number of held slots.
+// InUse reports the number of held slots. A slot transferred to a woken
+// waiter counts from the instant of the transfer, even before the waiter
+// resumes.
 func (r *Resource) InUse() int { return r.inUse }
+
+// Waiting reports the number of processes parked in Acquire.
+func (r *Resource) Waiting() int { return len(r.waiters) }
 
 // Acquire takes one slot, blocking p until one is free.
 func (r *Resource) Acquire(p *Proc) {

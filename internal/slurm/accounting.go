@@ -46,6 +46,11 @@ type JobRecord struct {
 	// work failures made it redo. Zero without a fault model.
 	Requeues  int
 	LostWorkS float64
+	// Migrations counts the job's live checkpoint/restart moves, and
+	// MigratedS the modeled C/R cost they charged it. Zero without the
+	// migration pass.
+	Migrations int
+	MigratedS  float64
 }
 
 // Accounting returns the records of all terminated jobs, ordered by ID.
@@ -70,6 +75,8 @@ func (c *Controller) Accounting() []JobRecord {
 			MinClassSpeed: j.MinClassSpeed(),
 			Requeues:      j.Requeues,
 			LostWorkS:     j.LostWorkS,
+			Migrations:    j.Migrations,
+			MigratedS:     j.MigratedS,
 		}
 		if j.ReqClass != "" {
 			rec.ClassDemand = j.ReqClass
@@ -104,12 +111,14 @@ func (c *Controller) thermalEnabled() bool {
 
 // WriteAccountingCSV dumps the accounting records as CSV. Clusters with
 // a thermal envelope gain a trailing thermal_throttled_s column; ones
-// with a fault model gain requeues and lost_work_s (fault-free pipelines
-// stay byte-identical).
+// with a fault model gain requeues and lost_work_s; ones with the
+// migration pass gain migrations and migrated_s (pipelines without the
+// feature stay byte-identical).
 func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	thermal := c.thermalEnabled()
 	faulty := c.cfg.Faults != nil
+	migrating := c.cfg.Migration != nil
 	header := []string{
 		"id", "name", "state", "req_nodes", "submit_s", "start_s", "end_s",
 		"wait_s", "exec_s", "completion_s", "resizes", "node_seconds", "flexible",
@@ -120,6 +129,9 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 	}
 	if faulty {
 		header = append(header, "requeues", "lost_work_s")
+	}
+	if migrating {
+		header = append(header, "migrations", "migrated_s")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -140,6 +152,9 @@ func (c *Controller) WriteAccountingCSV(w io.Writer) error {
 		}
 		if faulty {
 			rec = append(rec, fmt.Sprint(r.Requeues), fmt.Sprintf("%.1f", r.LostWorkS))
+		}
+		if migrating {
+			rec = append(rec, fmt.Sprint(r.Migrations), fmt.Sprintf("%.1f", r.MigratedS))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -86,6 +86,12 @@ type Config struct {
 	// the controller runs the recovery paths (requeue or the runtime's
 	// shrink-to-survive). Requires Energy.
 	Faults FaultModel
+	// Migration, when non-nil, attaches the live-migration decision pass
+	// (migrate.go): a periodic pick over the running jobs relocates one
+	// job at a time onto a different machine class through a modeled
+	// checkpoint/restart cycle. Requires a Policy implementing
+	// MigrationPicker.
+	Migration *MigrationConfig
 }
 
 // DefaultConfig mirrors the paper's Slurm setup: backfill scheduling with
@@ -144,6 +150,9 @@ type Controller struct {
 
 	// faults is the fault-injection state (nil: nothing ever fails).
 	faults *faultState
+
+	// migration is the live-migration state (nil: jobs never move).
+	migration *migrationState
 
 	// pick is the pass-scoped placement cache: pickNodes answers for one
 	// job at one pool version, shared by classClampSize, backfillEnd,
@@ -264,6 +273,9 @@ func NewController(c *platform.Cluster, cfg Config) *Controller {
 	}
 	if cfg.Faults != nil {
 		ctl.initFaults()
+	}
+	if cfg.Migration != nil {
+		ctl.initMigration()
 	}
 	// Nodes start idle; with sleep enabled they doze off unless a job
 	// claims them within the idle timeout.
@@ -398,6 +410,7 @@ func (c *Controller) Submit(j *Job) *Job {
 		c.telSubmit(j)
 	}
 	c.armAdapt()
+	c.armMigrate()
 	c.kick()
 	return j
 }
@@ -431,6 +444,8 @@ func (c *Controller) JobComplete(j *Job) {
 	}
 	j.accumulateNodeSeconds(c.k.Now())
 	c.settleThrottle(j)
+	// A migration order the runtime never picked up dies with the job.
+	c.dropMigrationOrder(j)
 	// Detach the job before releasing: releaseNodes triggers capRestore,
 	// which must not see the completed job as a throttle victim (its
 	// nodes are idle by then; pricing a phantom restore step against
@@ -983,6 +998,13 @@ func (c *Controller) startJob(j *Job, n int) {
 		})
 	}
 	j.noteClassSpeeds(j.alloc)
+	if j.migrateTo != "" {
+		// The migration pin has done its job: the allocation above was
+		// constrained to the destination class. The job submitted
+		// unconstrained, so the rest of its life runs that way again.
+		j.ReqClass = ""
+		j.migrateTo = ""
+	}
 	wake := c.powerAllocate(j, j.alloc, j.pstate)
 	j.State = StateRunning
 	j.StartTime = c.k.Now()

@@ -29,6 +29,8 @@ const (
 	EvRepair          // a failed (or boot-unhealthy) node finished repair
 	EvRequeue         // a running job lost a node and was killed back to the pending queue
 	EvBootFail        // an elastic provision boot failed; the node powered back off
+	EvMigrateOrder    // the migration pass ordered a job onto another machine class
+	EvMigrate         // the job checkpointed and requeued toward its migration destination
 )
 
 func (k EventKind) String() string {
@@ -77,6 +79,10 @@ func (k EventKind) String() string {
 		return "REQUEUE"
 	case EvBootFail:
 		return "BOOTFAIL"
+	case EvMigrateOrder:
+		return "MIG_ORDER"
+	case EvMigrate:
+		return "MIGRATE"
 	}
 	return "?"
 }

@@ -278,9 +278,11 @@ func (c *Controller) requeueFailed(j *Job) {
 		lost = 0
 	}
 	j.Requeues++
+	j.Incarnation++
 	j.LostWorkS += lost
 	c.faults.stats.Requeues++
 	c.faults.stats.LostWorkS += lost
+	c.dropMigrationOrder(j)
 	j.accumulateNodeSeconds(now)
 	c.settleThrottle(j)
 	nodes := j.alloc

@@ -29,6 +29,7 @@ type invConfig struct {
 	ladder     bool
 	elastic    bool
 	faults     bool
+	migration  bool
 }
 
 var invConfigs = []invConfig{
@@ -42,6 +43,33 @@ var invConfigs = []invConfig{
 	{name: "everything", powercap: true, classaware: true, thermal: true, ladder: true},
 	{name: "faults", faults: true},
 	{name: "faults+elastic+ladder", faults: true, elastic: true, ladder: true},
+	{name: "migration", migration: true},
+	{name: "migration+elastic+ladder", migration: true, elastic: true, ladder: true},
+}
+
+// invMigPicker is the fuzz harness's migration policy: move any
+// class-pure fast-class job onto the efficiency class whenever its
+// restart width fits there. One-directional on purpose — a migrated
+// job lands on the efficiency class and is never ordered again, so the
+// fuzz cannot ping-pong a job between classes forever.
+type invMigPicker struct{}
+
+func (invMigPicker) Decide(*QueueView, ResizeRequest) Decision { return Decision{Action: NoAction} }
+
+func (invMigPicker) PickMigration(v *MigrateView) (MigrationDecision, bool) {
+	slow := energy.EfficiencyProfile().Class
+	for _, j := range v.Candidates() {
+		src := v.AllocClasses(j)
+		if len(src) != 1 || src[0] == slow {
+			continue
+		}
+		need := v.RestartNodes(j)
+		if v.ClassTotal(slow) < need || v.FreeOfClass(slow) < need {
+			continue
+		}
+		return MigrationDecision{Job: j, Class: slow, Reason: "consolidate", Cost: v.MoveCost(j, need)}, true
+	}
+	return MigrationDecision{}, false
 }
 
 // invNodeSnap is one node's power-relevant state between two events.
@@ -183,6 +211,24 @@ func (k *invChecker) check(t *testing.T) {
 		sum += a.NodePowerW(i)
 		k.prev[i] = cur
 	}
+	// A pending migration order only ever points at a live running job,
+	// and a job mid-transition still owns every node of its allocation:
+	// nothing may be released or reallocated out from under it before
+	// the checkpoint is written and the requeue executes.
+	if m := c.migration; m != nil {
+		for id := range m.orders {
+			j := c.jobs[id]
+			if j == nil || j.State != StateRunning {
+				t.Fatalf("t=%v migration order for job %d, which is not running", now, id)
+			}
+			for _, nd := range j.alloc {
+				if c.owner[nd.Index] != j.ID {
+					t.Fatalf("t=%v migrating job %d lost node %d mid-transition (owner %d)",
+						now, j.ID, nd.Index, c.owner[nd.Index])
+				}
+			}
+		}
+	}
 	// The cluster total is exactly the sum of per-node draws.
 	if math.Abs(sum-a.TotalPowerW()) > 1e-6 {
 		t.Fatalf("t=%v TotalPowerW %.6f != Σ node draws %.6f", now, a.TotalPowerW(), sum)
@@ -269,6 +315,12 @@ func runInvariantFuzz(t *testing.T, ic invConfig, seed int64) {
 		}
 		cfg.Faults = faults.New(fc)
 	}
+	if ic.migration {
+		// A short interval keeps the decision pass racing against
+		// completions, shrinks, drains and (composed) elastic churn.
+		cfg.Policy = invMigPicker{}
+		cfg.Migration = &MigrationConfig{Interval: 30 * sim.Second}
+	}
 	c := NewController(cl, cfg)
 
 	classes := []string{"", energy.DefaultProfile().Class, energy.EfficiencyProfile().Class}
@@ -293,23 +345,52 @@ func runInvariantFuzz(t *testing.T, ic invConfig, seed int64) {
 		}
 		shrink := rng.Intn(4) == 0 && width%2 == 0 && width > 1
 		j.Launch = func(j *Job, _ []*platform.Node) {
-			// A crash may requeue the job mid-run; this incarnation's
-			// timers must then neither mutate nor complete the restart.
-			rq := j.Requeues
-			live := func() bool { return j.Requeues == rq && j.State == StateRunning }
+			// A crash requeue or a live migration may take the job away
+			// mid-run; this incarnation's timers must then neither mutate
+			// nor complete the restart. Incarnation covers both (Requeues
+			// alone would let a migrated-away timer double-complete).
+			inc := j.Incarnation
+			live := func() bool { return j.Incarnation == inc && j.State == StateRunning }
+			if ic.migration {
+				c.SetStateBytes(j, 256<<20)
+			}
 			cl.K.Spawn(j.Name, func(p *sim.Proc) {
+				// run sleeps in slices, polling for a migration order at
+				// each slice head (the bare-closure analog of the nanos
+				// runtime's batch heads); false means this incarnation is
+				// done and must unwind without completing the job.
+				run := func(dur sim.Time) bool {
+					for dur > 0 {
+						slice := dur
+						if ic.migration && slice > 20*sim.Second {
+							slice = 20 * sim.Second
+						}
+						p.Sleep(slice)
+						if !live() {
+							return false
+						}
+						dur -= slice
+						if ic.migration && c.MigrationOrdered(j) {
+							c.MigrateRequeue(j)
+							return false
+						}
+					}
+					return true
+				}
 				if shrink {
-					p.Sleep(d / 2)
-					if n := j.NNodes(); live() && n > 1 && n%2 == 0 {
+					if !run(d / 2) {
+						return
+					}
+					if n := j.NNodes(); n > 1 && n%2 == 0 {
 						c.ShrinkJob(j, n/2)
 					}
-					p.Sleep(d / 2)
-				} else {
-					p.Sleep(d)
+					if !run(d / 2) {
+						return
+					}
+				} else if !run(d) {
+					return
 				}
-				if live() {
-					c.JobComplete(j)
-				}
+				c.JobComplete(j)
 			})
 		}
 		jobs = append(jobs, j)
@@ -355,11 +436,32 @@ func runInvariantFuzz(t *testing.T, ic invConfig, seed int64) {
 			"throttled_s": r.ThrottledSec, "thermal_throttled_s": r.ThermalThrottledSec,
 			"min_class_speed": r.MinClassSpeed,
 			"requeues":        float64(r.Requeues), "lost_work_s": r.LostWorkS,
+			"migrations": float64(r.Migrations), "migrated_s": r.MigratedS,
 		} {
 			if v < 0 {
 				t.Fatalf("job %d: accounting column %s is negative: %f", r.ID, col, v)
 			}
 		}
+	}
+	// Migration bookkeeping balances: every executed move came from an
+	// order, no order survives the drained run, and the per-job columns
+	// sum to the cluster stats.
+	if ic.migration {
+		ms := c.MigrationStats()
+		if ms.Migrations > ms.Orders {
+			t.Fatalf("migration stats: %d migrations from %d orders", ms.Migrations, ms.Orders)
+		}
+		if n := len(c.migration.orders); n != 0 {
+			t.Fatalf("%d migration orders left pending after drain", n)
+		}
+		sum := 0
+		for _, r := range c.Accounting() {
+			sum += r.Migrations
+		}
+		if sum != ms.Migrations {
+			t.Fatalf("accounting shows %d migrations, stats %d", sum, ms.Migrations)
+		}
+		t.Logf("migration fuzz: %d orders, %d executed, %.1f s charged", ms.Orders, ms.Migrations, ms.MigratedS)
 	}
 }
 

@@ -123,8 +123,30 @@ type Job struct {
 	Requeues    int
 	LostWorkS   float64
 
+	// Incarnation distinguishes the job's successive launches: bumped on
+	// every crash requeue and every live migration. Runtimes capture it at
+	// launch and treat a mismatch as "this generation is dead" — unlike
+	// Requeues it also advances on voluntary checkpoint/restart moves, so
+	// a migrated-away incarnation can never complete or mutate the job.
+	Incarnation int
+
+	// Live-migration bookkeeping: how many checkpoint/restart moves the
+	// job made and the modeled C/R cost it paid for them (the price the
+	// scheduler charged when ordering each move).
+	Migrations int
+	MigratedS  float64
+
 	alloc          []*platform.Node
 	onResizerStart func(*Job) // resizer jobs: fired when allocated
+
+	// Live-migration state. stateBytes is the application's registered
+	// checkpoint footprint (0 = unknown: the job is not a migration
+	// candidate). migrateTo pins the restart of an in-flight migration:
+	// MigrateRequeue parks the destination class in ReqClass so every
+	// scheduler path honors it, and startJob clears the pin once the job
+	// lands there.
+	stateBytes int64
+	migrateTo  string
 
 	// Power-cap governor state: the P-state the job's nodes currently
 	// run at (0 = full speed) and when the current throttle episode

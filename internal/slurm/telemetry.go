@@ -41,10 +41,11 @@ const (
 // workloads' dynamic range; the wall-clock pass buckets cover microsecond
 // to second passes.
 var (
-	waitBuckets     = []float64{1, 10, 60, 300, 1800, 7200, 43200}
-	stretchBuckets  = []float64{1, 1.05, 1.1, 1.25, 1.5, 2, 4, 8}
-	passWallBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
-	lostWorkBuckets = []float64{1, 10, 60, 300, 1800, 7200, 43200}
+	waitBuckets        = []float64{1, 10, 60, 300, 1800, 7200, 43200}
+	stretchBuckets     = []float64{1, 1.05, 1.1, 1.25, 1.5, 2, 4, 8}
+	passWallBuckets    = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+	lostWorkBuckets    = []float64{1, 10, 60, 300, 1800, 7200, 43200}
+	migrateCostBuckets = []float64{1, 10, 60, 300, 1800, 7200}
 )
 
 // telState carries the controller's pre-registered instrument handles
@@ -81,6 +82,12 @@ type telState struct {
 	failures, requeues *telemetry.Counter
 	bootRetries        *telemetry.Counter
 	lostWork           *telemetry.Histogram
+
+	// Migration instruments, registered only when live migration is
+	// configured: a migration-free run must export a byte-identical
+	// registry snapshot.
+	migrateOrders, migrations *telemetry.Counter
+	migrateCost               *telemetry.Histogram
 
 	// passWall is wall-clock and lives in sink.Prof, never in sink.Reg.
 	passWall *telemetry.Histogram
@@ -141,6 +148,11 @@ func newTelState(c *Controller, sink *telemetry.Sink) *telState {
 		t.requeues = reg.Counter("fault_requeues_total")
 		t.bootRetries = reg.Counter("fault_boot_retries_total")
 		t.lostWork = reg.Histogram("fault_lost_work_seconds", lostWorkBuckets)
+	}
+	if c.cfg.Migration != nil {
+		t.migrateOrders = reg.Counter("migration_orders_total")
+		t.migrations = reg.Counter("migrations_total")
+		t.migrateCost = reg.Histogram("migration_cost_seconds", migrateCostBuckets)
 	}
 	tr := sink.Trace
 	tr.MetaProcess(tracePidSched, "scheduler")

@@ -7,8 +7,10 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/energy"
@@ -112,6 +114,28 @@ func Diurnal(period sim.Time, trough float64) ArrivalPattern {
 // trough×peak.
 func Bursty(period sim.Time, duty, trough float64) ArrivalPattern {
 	return ArrivalPattern{Period: period, Trough: trough, Duty: duty}
+}
+
+// ArrivalNames lists the shapes NamedArrival accepts — the valid values
+// of the CLIs' -arrival flag.
+var ArrivalNames = []string{"constant", "diurnal", "bursty"}
+
+// NamedArrival maps an -arrival flag value to its arrival shape:
+// "constant" (or empty) is the unmodulated Poisson stream, "diurnal" a
+// 24-hour day/night swing bottoming at 1% of the peak rate, "bursty"
+// six-hourly submission storms over a 1.5% trough. Unknown names return
+// an error listing the valid shapes — they must not reach the generator.
+func NamedArrival(pattern string) (ArrivalPattern, error) {
+	switch pattern {
+	case "", "constant":
+		return ArrivalPattern{}, nil
+	case "diurnal":
+		return Diurnal(24*3600*sim.Second, 0.01), nil
+	case "bursty":
+		return Bursty(6*3600*sim.Second, 0.06, 0.015), nil
+	}
+	return ArrivalPattern{}, fmt.Errorf("unknown arrival pattern %q (want %s)",
+		pattern, strings.Join(ArrivalNames, ", "))
 }
 
 // Params tunes the generator.
